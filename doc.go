@@ -1,0 +1,13 @@
+// Package repro is a reproduction of "Integrating Segmentation and
+// Paging Protection for Safe, Efficient and Transparent Software
+// Extensions" (Chiueh, Venkitachalam, Pradhan; SOSP '99) — the
+// Palladium intra-address-space protection system — as a pure-Go
+// simulation of the x86 protection hardware it builds on.
+//
+// The library lives under internal/: internal/core is Palladium
+// itself, and the remaining packages are the substrates (cycle model,
+// MMU, CPU, kernel, loader) and the baselines/applications used by the
+// evaluation. See DESIGN.md for the system inventory, EXPERIMENTS.md
+// for paper-vs-measured results, and bench_test.go for the benchmark
+// per table and figure.
+package repro

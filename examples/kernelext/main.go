@@ -1,0 +1,124 @@
+// Kernelext example: the safe kernel extension mechanism of Section
+// 4.3. Untrusted modules are loaded into an SPL-1 extension segment
+// inside the kernel address space; the segment limit confines them,
+// kernel services are reachable only through the pre-defined int-0x81
+// interface, data is shared through the well-known shared_area symbol,
+// and a module that escapes its segment is aborted by the #GP handler
+// without taking the kernel down.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+func main() {
+	sys, err := core.NewSystem(cycles.Measured())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.K.CreateProcess(); err != nil {
+		log.Fatal(err)
+	}
+	// Expose one core kernel service (number 42: scale by 10).
+	sys.K.RegisterKernelService(42, func(k *kernel.Kernel, p *kernel.Process, a1, _, _ uint32) uint32 {
+		return a1 * 10
+	})
+
+	seg, err := sys.NewExtSegment("demo", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := sys.Insmod(seg, isa.MustAssemble("goodmod", `
+		.global checksum, viaservice
+		.text
+		checksum:                 ; sum the shared area bytes
+			mov eax, [esp+4]      ; count
+			mov ecx, shared_area
+			mov edx, 0
+		loop:
+			cmp eax, 0
+			je done
+			movb ebx, [ecx]
+			add edx, ebx
+			inc ecx
+			dec eax
+			jmp loop
+		done:
+			mov eax, edx
+			ret
+		viaservice:               ; call kernel service 42
+			mov eax, 42
+			mov ebx, [esp+4]
+			int 0x81
+			ret
+		.data
+		.global shared_area
+		shared_area: .space 64
+	`))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Share data with the extension and invoke it.
+	off, _ := im.Lookup("shared_area")
+	if err := sys.WriteShared(seg, off, []byte{10, 20, 30}); err != nil {
+		log.Fatal(err)
+	}
+	f, _ := sys.ExtensionFunction("checksum")
+	sum, err := f.Invoke(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checksum over shared area =", sum)
+
+	svc, _ := sys.ExtensionFunction("viaservice")
+	v, err := svc.Invoke(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("kernel service result =", v)
+
+	// Asynchronous invocations (Section 4.3): queue now, run later.
+	f.InvokeAsync(3)
+	f.InvokeAsync(3)
+	n, err := seg.RunPending()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("async requests completed =", n)
+
+	// A malicious module in its own segment: the segment limit stops
+	// it and the kernel aborts only that segment.
+	badSeg, err := sys.NewExtSegment("bad", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Insmod(badSeg, isa.MustAssemble("badmod", `
+		.global escape
+		.text
+		escape:
+			mov eax, [0x2000000]   ; beyond the 16 MB segment limit
+			ret
+	`)); err != nil {
+		log.Fatal(err)
+	}
+	bad, _ := sys.ExtensionFunction("escape")
+	if _, err := bad.Invoke(0); errors.Is(err, core.ErrKernelExtensionAborted) {
+		fmt.Println("malicious module aborted:", err)
+	} else {
+		log.Fatalf("confinement failed: %v", err)
+	}
+
+	// The good module is untouched.
+	if sum, err = f.Invoke(3); err != nil || sum != 60 {
+		log.Fatalf("good module damaged: %d, %v", sum, err)
+	}
+	fmt.Println("good module still works after the abort: checksum =", sum)
+}

@@ -1,0 +1,48 @@
+// Webserver example: the LibCGI application of Section 5.2. A CGI
+// script runs as a Palladium user-level extension inside the web
+// server's address space, invoked as a protected function call; the
+// example prints a Table-3-style throughput comparison across the five
+// execution models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/experiments"
+	"repro/internal/webserver"
+)
+
+func main() {
+	// One request, narrated.
+	sys, err := core.NewSystem(cycles.Measured())
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := webserver.New(sys, 28)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range []webserver.Model{
+		webserver.Static, webserver.CGI, webserver.FastCGI,
+		webserver.LibCGI, webserver.LibCGIProtected,
+	} {
+		before := sys.Clock().Cycles()
+		status, err := srv.ServeRequest(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s status %d in %8.0f cycles\n", m, status, sys.Clock().Cycles()-before)
+	}
+	fmt.Println()
+
+	// The full Table 3.
+	rows, err := experiments.Table3([]uint32{28, 1024, 10 * 1024, 100 * 1024}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderTable3(os.Stdout, rows)
+}

@@ -1,0 +1,274 @@
+// Package bpf implements the interpreted packet-filter baseline of
+// Figure 7: a Berkeley-Packet-Filter-style virtual machine in the
+// spirit of McCanne & Jacobson, with an accumulator, an index
+// register, packet loads, conditional jumps and return instructions.
+//
+// The kernel interprets filter programs submitted by applications
+// (the paper's Section 2.1 "interpretation" approach); every virtual
+// instruction pays a dispatch cost plus an operation cost, which is
+// what makes interpretation overhead grow with the number of filter
+// terms. A separate compiler (compile.go) translates the same
+// programs to native code for Palladium's compiled in-kernel filter.
+package bpf
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+)
+
+// Op is a BPF virtual-machine opcode.
+type Op uint8
+
+const (
+	// LdAbsB loads the packet byte at absolute offset K into A.
+	LdAbsB Op = iota
+	// LdAbsH loads a 16-bit big-endian half-word at K.
+	LdAbsH
+	// LdAbsW loads a 32-bit big-endian word at K.
+	LdAbsW
+	// LdImm loads the constant K into A.
+	LdImm
+	// LdLen loads the packet length into A.
+	LdLen
+	// AddK, SubK, AndK, OrK, RshK, LshK are ALU ops A = A op K.
+	AddK
+	SubK
+	AndK
+	OrK
+	RshK
+	LshK
+	// JEq jumps Jt if A == K else Jf.
+	JEq
+	// JGt jumps Jt if A > K else Jf.
+	JGt
+	// JGe jumps Jt if A >= K else Jf.
+	JGe
+	// JSet jumps Jt if A & K != 0 else Jf.
+	JSet
+	// Ja jumps unconditionally forward by K.
+	Ja
+	// RetK returns the constant K (0 = reject, nonzero = accept).
+	RetK
+	// RetA returns the accumulator.
+	RetA
+	numOps
+)
+
+var opNames = [...]string{
+	LdAbsB: "ldb", LdAbsH: "ldh", LdAbsW: "ldw", LdImm: "ld",
+	LdLen: "ldlen", AddK: "add", SubK: "sub", AndK: "and", OrK: "or",
+	RshK: "rsh", LshK: "lsh", JEq: "jeq", JGt: "jgt", JGe: "jge",
+	JSet: "jset", Ja: "ja", RetK: "ret", RetA: "reta",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("bpfop(%d)", uint8(o))
+}
+
+// Instr is one BPF virtual instruction.
+type Instr struct {
+	Op     Op
+	K      uint32
+	Jt, Jf uint8 // forward jump offsets for conditionals
+}
+
+// Program is a BPF filter program.
+type Program []Instr
+
+// Validate performs the classic BPF safety check: all jumps are
+// forward and in bounds, every path ends in a return, and opcodes are
+// known. This is the entire protection story of the interpretation
+// approach — its strength is exactly the interpreter's correctness.
+func (p Program) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("bpf: empty program")
+	}
+	for i, ins := range p {
+		if ins.Op >= numOps {
+			return fmt.Errorf("bpf: instruction %d: unknown opcode %d", i, ins.Op)
+		}
+		switch ins.Op {
+		case JEq, JGt, JGe, JSet:
+			if i+1+int(ins.Jt) >= len(p) || i+1+int(ins.Jf) >= len(p) {
+				return fmt.Errorf("bpf: instruction %d: jump out of bounds", i)
+			}
+		case Ja:
+			if i+1+int(ins.K) >= len(p) {
+				return fmt.Errorf("bpf: instruction %d: jump out of bounds", i)
+			}
+		}
+	}
+	last := p[len(p)-1]
+	if last.Op != RetK && last.Op != RetA {
+		return fmt.Errorf("bpf: program does not end in a return")
+	}
+	return nil
+}
+
+// InterpCosts prices the interpreter's work, calibrated so that the
+// Figure-7 BPF curve starts near 200 cycles at zero terms and grows by
+// roughly 180 cycles per conjunction term on the measured model.
+type InterpCosts struct {
+	// Invoke is the fixed cost of entering the in-kernel filter
+	// function (call, setup, bounds preamble).
+	Invoke float64
+	// Dispatch is the per-instruction fetch/decode/switch cost.
+	Dispatch float64
+	// PacketLoad adds the bounds-checked packet access cost.
+	PacketLoad float64
+	// Branch adds the conditional-jump evaluation cost.
+	Branch float64
+	// ALU adds the arithmetic cost.
+	ALU float64
+	// Ret adds the return path cost.
+	Ret float64
+}
+
+// DefaultInterpCosts returns the calibrated interpreter cost sheet.
+func DefaultInterpCosts() InterpCosts {
+	return InterpCosts{Invoke: 150, Dispatch: 40, PacketLoad: 45, Branch: 45, ALU: 25, Ret: 20}
+}
+
+// Interp is the in-kernel BPF interpreter.
+type Interp struct {
+	Clock *cycles.Clock
+	Costs InterpCosts
+}
+
+// NewInterp returns an interpreter charging the given clock.
+func NewInterp(clock *cycles.Clock) *Interp {
+	return &Interp{Clock: clock, Costs: DefaultInterpCosts()}
+}
+
+// Run interprets the program over a packet and returns the filter
+// verdict (0 = reject). Programs must have been validated.
+func (in *Interp) Run(p Program, pkt []byte) (uint32, error) {
+	in.Clock.Add(in.Costs.Invoke)
+	var a, x uint32
+	_ = x
+	pc := 0
+	steps := 0
+	for {
+		if pc < 0 || pc >= len(p) {
+			return 0, fmt.Errorf("bpf: pc out of bounds (%d)", pc)
+		}
+		if steps++; steps > 10_000 {
+			return 0, fmt.Errorf("bpf: runaway program")
+		}
+		ins := p[pc]
+		in.Clock.Add(in.Costs.Dispatch)
+		switch ins.Op {
+		case LdAbsB:
+			in.Clock.Add(in.Costs.PacketLoad)
+			if int(ins.K) >= len(pkt) {
+				return 0, nil // out-of-range load rejects, as in BPF
+			}
+			a = uint32(pkt[ins.K])
+		case LdAbsH:
+			in.Clock.Add(in.Costs.PacketLoad)
+			if int(ins.K)+1 >= len(pkt) {
+				return 0, nil
+			}
+			a = uint32(pkt[ins.K])<<8 | uint32(pkt[ins.K+1])
+		case LdAbsW:
+			in.Clock.Add(in.Costs.PacketLoad)
+			if int(ins.K)+3 >= len(pkt) {
+				return 0, nil
+			}
+			a = uint32(pkt[ins.K])<<24 | uint32(pkt[ins.K+1])<<16 |
+				uint32(pkt[ins.K+2])<<8 | uint32(pkt[ins.K+3])
+		case LdImm:
+			a = ins.K
+		case LdLen:
+			a = uint32(len(pkt))
+		case AddK:
+			in.Clock.Add(in.Costs.ALU)
+			a += ins.K
+		case SubK:
+			in.Clock.Add(in.Costs.ALU)
+			a -= ins.K
+		case AndK:
+			in.Clock.Add(in.Costs.ALU)
+			a &= ins.K
+		case OrK:
+			in.Clock.Add(in.Costs.ALU)
+			a |= ins.K
+		case RshK:
+			in.Clock.Add(in.Costs.ALU)
+			a >>= ins.K & 31
+		case LshK:
+			in.Clock.Add(in.Costs.ALU)
+			a <<= ins.K & 31
+		case JEq, JGt, JGe, JSet:
+			in.Clock.Add(in.Costs.Branch)
+			var cond bool
+			switch ins.Op {
+			case JEq:
+				cond = a == ins.K
+			case JGt:
+				cond = a > ins.K
+			case JGe:
+				cond = a >= ins.K
+			case JSet:
+				cond = a&ins.K != 0
+			}
+			if cond {
+				pc += 1 + int(ins.Jt)
+			} else {
+				pc += 1 + int(ins.Jf)
+			}
+			continue
+		case Ja:
+			pc += 1 + int(ins.K)
+			continue
+		case RetK:
+			in.Clock.Add(in.Costs.Ret)
+			return ins.K, nil
+		case RetA:
+			in.Clock.Add(in.Costs.Ret)
+			return a, nil
+		default:
+			return 0, fmt.Errorf("bpf: unimplemented op %v", ins.Op)
+		}
+		pc++
+	}
+}
+
+// Term is one conjunct of a filter rule: packet byte/half/word at
+// Offset compared for equality with Value.
+type Term struct {
+	Offset uint32
+	Size   uint8 // 1, 2 or 4
+	Value  uint32
+}
+
+// Conjunction builds the BPF program for "term1 && term2 && ... &&
+// termN" — the workload of Figure 7. Zero terms yields the
+// accept-everything filter.
+func Conjunction(terms []Term) Program {
+	var p Program
+	n := len(terms)
+	for i, t := range terms {
+		var ld Op
+		switch t.Size {
+		case 1:
+			ld = LdAbsB
+		case 2:
+			ld = LdAbsH
+		default:
+			ld = LdAbsW
+		}
+		p = append(p, Instr{Op: ld, K: t.Offset})
+		// On mismatch jump to the reject return at the end; on match
+		// fall through to the next term.
+		remaining := uint8(2*(n-1-i)) + 1
+		p = append(p, Instr{Op: JEq, K: t.Value, Jt: 0, Jf: remaining})
+	}
+	p = append(p, Instr{Op: RetK, K: 1}) // accept
+	p = append(p, Instr{Op: RetK, K: 0}) // reject
+	return p
+}

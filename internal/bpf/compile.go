@@ -1,0 +1,105 @@
+package bpf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compile translates a validated BPF program into assembly for the
+// simulated ISA, producing the source of a Palladium kernel extension
+// (Section 5.2's compiled packet filter): the generated function takes
+// the packet length as its 4-byte argument, reads the packet bytes
+// from the extension's shared data area (where the kernel places
+// packet headers), and returns the filter verdict in EAX.
+//
+// Register allocation: EAX = accumulator A, ESI = packet base (the
+// shared area), EDX = packet length, ECX = scratch.
+func Compile(p Program, entryName, sharedSymbol string) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\t.global %s\n\t.text\n%s:\n", entryName, entryName)
+	b.WriteString("\tpush esi\n")
+	fmt.Fprintf(&b, "\tmov esi, %s\n", sharedSymbol)
+	b.WriteString("\tmov edx, [esp+8]\n") // packet length (arg shifted by push)
+	b.WriteString("\tmov eax, 0\n")
+
+	label := func(i int) string { return fmt.Sprintf("L%d", i) }
+	reject := "Lreject"
+
+	for i, ins := range p {
+		fmt.Fprintf(&b, "%s:\n", label(i))
+		switch ins.Op {
+		case LdAbsB:
+			// Bounds check then load — the compiled filter keeps
+			// BPF's memory safety; Palladium's segment/page checks
+			// guard everything else.
+			fmt.Fprintf(&b, "\tmov ecx, %d\n", ins.K)
+			b.WriteString("\tcmp ecx, edx\n")
+			fmt.Fprintf(&b, "\tjae %s\n", reject)
+			fmt.Fprintf(&b, "\tmovb eax, [esi+%d]\n", ins.K)
+		case LdAbsH:
+			fmt.Fprintf(&b, "\tmov ecx, %d\n", ins.K+1)
+			b.WriteString("\tcmp ecx, edx\n")
+			fmt.Fprintf(&b, "\tjae %s\n", reject)
+			fmt.Fprintf(&b, "\tmovb eax, [esi+%d]\n", ins.K)
+			b.WriteString("\tshl eax, 8\n")
+			fmt.Fprintf(&b, "\tmovb ecx, [esi+%d]\n", ins.K+1)
+			b.WriteString("\tor eax, ecx\n")
+		case LdAbsW:
+			fmt.Fprintf(&b, "\tmov ecx, %d\n", ins.K+3)
+			b.WriteString("\tcmp ecx, edx\n")
+			fmt.Fprintf(&b, "\tjae %s\n", reject)
+			b.WriteString("\tmov eax, 0\n")
+			for o := uint32(0); o < 4; o++ {
+				b.WriteString("\tshl eax, 8\n")
+				fmt.Fprintf(&b, "\tmovb ecx, [esi+%d]\n", ins.K+o)
+				b.WriteString("\tor eax, ecx\n")
+			}
+		case LdImm:
+			fmt.Fprintf(&b, "\tmov eax, %d\n", int32(ins.K))
+		case LdLen:
+			b.WriteString("\tmov eax, edx\n")
+		case AddK:
+			fmt.Fprintf(&b, "\tadd eax, %d\n", int32(ins.K))
+		case SubK:
+			fmt.Fprintf(&b, "\tsub eax, %d\n", int32(ins.K))
+		case AndK:
+			fmt.Fprintf(&b, "\tand eax, %d\n", int32(ins.K))
+		case OrK:
+			fmt.Fprintf(&b, "\tor eax, %d\n", int32(ins.K))
+		case RshK:
+			fmt.Fprintf(&b, "\tshr eax, %d\n", ins.K&31)
+		case LshK:
+			fmt.Fprintf(&b, "\tshl eax, %d\n", ins.K&31)
+		case JEq, JGt, JGe, JSet:
+			tgtT := label(i + 1 + int(ins.Jt))
+			tgtF := label(i + 1 + int(ins.Jf))
+			switch ins.Op {
+			case JEq:
+				fmt.Fprintf(&b, "\tcmp eax, %d\n\tje %s\n\tjmp %s\n", int32(ins.K), tgtT, tgtF)
+			case JGt:
+				fmt.Fprintf(&b, "\tcmp eax, %d\n\tja %s\n\tjmp %s\n", int32(ins.K), tgtT, tgtF)
+			case JGe:
+				fmt.Fprintf(&b, "\tcmp eax, %d\n\tjae %s\n\tjmp %s\n", int32(ins.K), tgtT, tgtF)
+			case JSet:
+				fmt.Fprintf(&b, "\ttest eax, %d\n\tjne %s\n\tjmp %s\n", int32(ins.K), tgtT, tgtF)
+			}
+			continue
+		case Ja:
+			fmt.Fprintf(&b, "\tjmp %s\n", label(i+1+int(ins.K)))
+			continue
+		case RetK:
+			fmt.Fprintf(&b, "\tmov eax, %d\n\tpop esi\n\tret\n", int32(ins.K))
+			continue
+		case RetA:
+			b.WriteString("\tpop esi\n\tret\n")
+			continue
+		default:
+			return "", fmt.Errorf("bpf: cannot compile op %v", ins.Op)
+		}
+	}
+	fmt.Fprintf(&b, "%s:\n\tmov eax, 0\n\tpop esi\n\tret\n", reject)
+	return b.String(), nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// Phases decomposes a call's cycles into the four rows of Table 1.
+// Body holds the invoked function's own instructions (the paper's null
+// function contributes its prologue/epilogue there and is excluded
+// from the Total, which matches the published 142/10 figures).
+type Phases struct {
+	Setup   float64 // creating the faked activation record, saving registers
+	Call    float64 // the actual control transfer to the extension (lret + call)
+	Return  float64 // returning control to the caller (lcall)
+	Restore float64 // restoring the application's state
+	Body    float64 // the invoked function itself (excluded from Total)
+	Other   float64 // harness instructions outside the call proper
+}
+
+// Total is Setup+Call+Return+Restore, the quantity Table 1 reports.
+func (p Phases) Total() float64 { return p.Setup + p.Call + p.Return + p.Restore }
+
+// String renders the decomposition like Table 1.
+func (p Phases) String() string {
+	return fmt.Sprintf("setup=%.0f call=%.0f return=%.0f restore=%.0f (total %.0f, body %.0f)",
+		p.Setup, p.Call, p.Return, p.Restore, p.Total(), p.Body)
+}
+
+// stepMeasure single-steps the machine until the break address is hit,
+// attributing each instruction's cycles via classify(EIP-before).
+func stepMeasure(a *App, classify func(eip uint32) *float64, phases *Phases) error {
+	m := a.S.K.Machine
+	for {
+		eip := m.EIP
+		before := m.Clock.Cycles()
+		stop, _ := m.Step()
+		delta := m.Clock.Cycles() - before
+		if stop != nil {
+			if stop.Reason == cpu.StopBreak {
+				return nil
+			}
+			return fmt.Errorf("measurement stopped: %v (%v)", stop.Reason, stop.Err)
+		}
+		if bucket := classify(eip); bucket != nil {
+			*bucket += delta
+		} else {
+			phases.Other += delta
+		}
+	}
+}
+
+// MeasureProtectedCall reproduces the "Inter" column of Table 1: it
+// invokes the protected function once to warm caches, then single-
+// steps a second invocation, attributing cycles to the four phases by
+// instruction address:
+//
+//	Prepare's first 8 instructions        -> Setting up stack
+//	Prepare's lret + Transfer's call      -> Calling function
+//	Transfer's lcall                      -> Returning to caller
+//	AppCallGate (2 loads + ret)           -> Restoring state
+func MeasureProtectedCall(pf *ProtectedFunc, arg uint32) (Phases, error) {
+	a := pf.App
+	if _, err := pf.Call(arg); err != nil { // warm TLB and stubs
+		return Phases{}, err
+	}
+	k := a.S.K
+	m := k.Machine
+	saved := m.SaveContext()
+	defer m.RestoreContext(saved)
+
+	m.CS = kernel.ACodeSel
+	m.DS = kernel.UDataSel
+	m.ES = kernel.UDataSel
+	m.SS = kernel.ADataSel
+	m.Regs[isa.ESP] = a.callStack
+	m.EIP = pf.PrepareAddr
+	if f := m.Push(arg); f != nil {
+		return Phases{}, f
+	}
+	if f := m.Push(appRetBreak); f != nil {
+		return Phases{}, f
+	}
+	m.SetBreak(appRetBreak)
+	defer m.ClearBreak(appRetBreak)
+
+	var ph Phases
+	lretAddr := pf.PrepareAddr + 8*isa.InstrSlot
+	callAddr := pf.TransferAddr
+	lcallAddr := pf.TransferAddr + isa.InstrSlot
+	classify := func(eip uint32) *float64 {
+		switch {
+		case eip >= pf.PrepareAddr && eip < lretAddr:
+			return &ph.Setup
+		case eip == lretAddr, eip == callAddr:
+			return &ph.Call
+		case eip == lcallAddr:
+			return &ph.Return
+		case eip >= a.gateAddr && eip < a.gateAddr+3*isa.InstrSlot:
+			return &ph.Restore
+		case eip == pf.FnAddr || (eip > pf.FnAddr && eip < pf.FnAddr+0x1000):
+			return &ph.Body
+		}
+		return nil
+	}
+	if err := stepMeasure(a, classify, &ph); err != nil {
+		return ph, err
+	}
+	return ph, nil
+}
+
+// MeasureUnprotectedCall reproduces the "Intra" column of Table 1: a
+// plain intra-domain call to the same function through a four-
+// instruction caller (push arg / call / pop / ret). The callee's final
+// ret is attributed to "Returning to caller", as in the paper's
+// decomposition.
+func MeasureUnprotectedCall(a *App, fnAddr uint32, arg uint32) (Phases, error) {
+	if a.intraCaller == 0 {
+		syms, err := a.stubs.add("intracaller", fmt.Sprintf(`
+caller:
+	push ecx
+	call %d
+	pop ecx
+	ret
+`, fnAddr))
+		if err != nil {
+			return Phases{}, err
+		}
+		a.intraCaller = syms["caller"]
+		a.intraTarget = fnAddr
+	} else if a.intraTarget != fnAddr {
+		return Phases{}, fmt.Errorf("intra-call caller already bound to %#x", a.intraTarget)
+	}
+	if _, err := a.CallUnprotected(a.intraCaller, arg); err != nil { // warm
+		return Phases{}, err
+	}
+	k := a.S.K
+	m := k.Machine
+	saved := m.SaveContext()
+	defer m.RestoreContext(saved)
+	m.CS = kernel.ACodeSel
+	m.DS = kernel.UDataSel
+	m.ES = kernel.UDataSel
+	m.SS = kernel.ADataSel
+	m.Regs[isa.ESP] = a.callStack
+	m.Regs[isa.ECX] = arg
+	m.EIP = a.intraCaller
+	if f := m.Push(appRetBreak); f != nil {
+		return Phases{}, f
+	}
+	m.SetBreak(appRetBreak)
+	defer m.ClearBreak(appRetBreak)
+
+	var ph Phases
+	classify := func(eip uint32) *float64 {
+		switch eip {
+		case a.intraCaller:
+			return &ph.Setup
+		case a.intraCaller + isa.InstrSlot:
+			return &ph.Call
+		case a.intraCaller + 2*isa.InstrSlot:
+			return &ph.Restore
+		case a.intraCaller + 3*isa.InstrSlot:
+			return &ph.Other // harness ret back to the sentinel
+		}
+		if eip >= fnAddr && eip < fnAddr+0x1000 {
+			ins := m.CodeAt(mustPhys(a, eip))
+			if ins != nil && ins.Op == isa.RET {
+				return &ph.Return
+			}
+			return &ph.Body
+		}
+		return nil
+	}
+	if err := stepMeasure(a, classify, &ph); err != nil {
+		return ph, err
+	}
+	return ph, nil
+}
+
+// mustPhys resolves a user-space linear address to its physical
+// address through the process page tables (measurement helper).
+func mustPhys(a *App, lin uint32) uint32 {
+	e := a.P.AS.Lookup(lin)
+	return e.Frame() | lin&0xFFF
+}

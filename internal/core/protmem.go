@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// ProtectedRegion is the protected memory service sketched in the
+// paper's Section 6 ("we are building a protected memory service that
+// uses segmentation to prevent wild pointers or random software errors
+// from corrupting specific physical memory regions"): a kernel memory
+// region reachable only through a dedicated data segment whose base
+// and limit exactly bound it. Accidental accesses with out-of-bounds
+// offsets — wild pointers, buffer overruns — trip the segment limit
+// check instead of silently corrupting neighbouring kernel memory.
+//
+// Every guarded access pays the segment-register reload (12 cycles
+// measured), which is the service's entire per-access overhead: the
+// deliberate trade the paper's segmentation approach makes everywhere.
+type ProtectedRegion struct {
+	S    *System
+	Name string
+	Base uint32 // linear base
+	Size uint32
+	Sel  mmu.Selector // dedicated data segment, DPL 0
+}
+
+// NewProtectedRegion allocates size bytes (page-rounded) of kernel
+// memory behind a dedicated exact-limit segment.
+func (s *System) NewProtectedRegion(name string, size uint32) (*ProtectedRegion, error) {
+	size = (size + mem.PageMask) &^ uint32(mem.PageMask)
+	if size == 0 {
+		return nil, fmt.Errorf("palladium: protected region %q: zero size", name)
+	}
+	lin, err := s.K.KernelAlloc(size, mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := s.K.AllocGateIndex()
+	if err != nil {
+		return nil, err
+	}
+	s.K.MMU.GDT.Set(idx, mmu.Descriptor{
+		Kind: mmu.SegData, Base: lin, Limit: size - 1, DPL: 0,
+		Present: true, Writable: true,
+	})
+	return &ProtectedRegion{
+		S: s, Name: name, Base: lin, Size: size,
+		Sel: mmu.MakeSelector(idx, false, 0),
+	}, nil
+}
+
+// access performs one bounds-checked access through the dedicated
+// segment. It returns the mmu fault (not a Go error) so callers can
+// distinguish protection trips from other failures.
+func (r *ProtectedRegion) access(off, n uint32, acc mmu.Access) (uint32, *mmu.Fault) {
+	var seg mmu.Selector
+	if f := r.S.K.Machine.LoadSegReg(&seg, r.Sel); f != nil {
+		return 0, f
+	}
+	return r.S.K.MMU.Translate(seg, off, n, acc, 0)
+}
+
+// Write stores b at the given offset; a write that would stray past
+// the region's limit faults with #GP before touching anything.
+func (r *ProtectedRegion) Write(off uint32, b []byte) *mmu.Fault {
+	if _, f := r.access(off, uint32(len(b)), mmu.Write); f != nil {
+		return f
+	}
+	r.S.K.Clock.Add(r.S.K.Costs.CopyPerByte * float64(len(b)))
+	for i, v := range b {
+		pa, f := r.S.K.MMU.Translate(r.Sel, off+uint32(i), 1, mmu.Write, 0)
+		if f != nil {
+			return f
+		}
+		r.S.K.Phys.Write8(pa, v)
+	}
+	return nil
+}
+
+// Read loads n bytes at the given offset under the same bounds check.
+func (r *ProtectedRegion) Read(off, n uint32) ([]byte, *mmu.Fault) {
+	if _, f := r.access(off, n, mmu.Read); f != nil {
+		return nil, f
+	}
+	r.S.K.Clock.Add(r.S.K.Costs.CopyPerByte * float64(n))
+	out := make([]byte, n)
+	for i := range out {
+		pa, f := r.S.K.MMU.Translate(r.Sel, off+uint32(i), 1, mmu.Read, 0)
+		if f != nil {
+			return nil, f
+		}
+		out[i] = r.S.K.Phys.Read8(pa)
+	}
+	return out, nil
+}
+
+// AccessOverhead reports the per-access cost of the service: the
+// segment-register reload under the active model.
+func (r *ProtectedRegion) AccessOverhead() float64 {
+	return r.S.K.Model.Cost(cycles.SegRegLoad)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cycles"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+func TestProtectedRegionReadWrite(t *testing.T) {
+	s := newSystem(t)
+	r, err := s.NewProtectedRegion("journal", 2*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := r.Write(100, []byte("checkpoint")); f != nil {
+		t.Fatal(f)
+	}
+	got, f := r.Read(100, 10)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if string(got) != "checkpoint" {
+		t.Errorf("round trip = %q", got)
+	}
+	// Spanning a page boundary within the region works.
+	if f := r.Write(mem.PageSize-4, []byte("boundary")); f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestProtectedRegionStopsWildPointers(t *testing.T) {
+	s := newSystem(t)
+	r, err := s.NewProtectedRegion("state", mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An adjacent region holding data a wild pointer would corrupt.
+	neighbour, err := s.NewProtectedRegion("neighbour", mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := neighbour.Write(0, []byte("intact")); f != nil {
+		t.Fatal(f)
+	}
+	// A write that runs past the region's end (classic overrun).
+	f := r.Write(mem.PageSize-4, []byte("overrunning!"))
+	if f == nil || f.Kind != mmu.GP {
+		t.Fatalf("overrun = %v, want #GP (segment limit)", f)
+	}
+	// A wildly out-of-bounds offset.
+	if f := r.Write(0x100000, []byte{1}); f == nil || f.Kind != mmu.GP {
+		t.Fatalf("wild write = %v, want #GP", f)
+	}
+	if _, f := r.Read(0xFFFF_0000, 4); f == nil || f.Kind != mmu.GP {
+		t.Fatalf("wild read = %v, want #GP", f)
+	}
+	// The neighbour never saw any of it.
+	got, _ := neighbour.Read(0, 6)
+	if string(got) != "intact" {
+		t.Errorf("neighbour corrupted: %q", got)
+	}
+}
+
+func TestProtectedRegionChargesSegRegLoad(t *testing.T) {
+	s := newSystem(t)
+	r, err := s.NewProtectedRegion("x", mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AccessOverhead() != 12 {
+		t.Errorf("overhead = %v, want the 12-cycle segment register load", r.AccessOverhead())
+	}
+	before := s.Clock().Cycles()
+	r.Write(0, []byte{1})
+	if got := s.Clock().Cycles() - before; got < 12 {
+		t.Errorf("write charged %v cycles, must include the segment reload", got)
+	}
+}
+
+func TestProtectedRegionBoundsProperty(t *testing.T) {
+	// Property: an n-byte access at offset off succeeds iff
+	// off+n <= size (no overflow), for arbitrary offsets.
+	s := newSystem(t)
+	const size = mem.PageSize
+	r, err := s.NewProtectedRegion("p", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint32, nRaw uint8) bool {
+		n := uint32(nRaw%16) + 1
+		_, fault := r.Read(off, n)
+		end := uint64(off) + uint64(n) - 1
+		want := end < size
+		return (fault == nil) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtectedRegionErrors(t *testing.T) {
+	s := newSystem(t)
+	if _, err := s.NewProtectedRegion("zero", 0); err == nil {
+		t.Error("zero-size region must be rejected")
+	}
+	// Regions work under the manual cost model too.
+	s2, err := NewSystem(cycles.Manual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s2.NewProtectedRegion("m", mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AccessOverhead() != 2.5 {
+		t.Errorf("manual-model overhead = %v, want 2.5", r.AccessOverhead())
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/loader"
+	"repro/internal/mem"
+)
+
+// TestGOTAttackBlockedBySealing demonstrates the Section 4.4.2 hazard
+// and its fix: with the GOT writable, an extension can redirect the
+// application's next library call; with the sealed (read-only,
+// page-aligned) GOT that Palladium requires, the same store faults.
+func TestGOTAttackBlockedBySealing(t *testing.T) {
+	build := func(seal bool) (*App, *loader.Image, *ProtectedFunc, uint32) {
+		s := newSystem(t)
+		a := newApp(t, s)
+		// A "victim" library whose function the app calls through its
+		// GOT, plus a gadget the attacker wants to run instead.
+		lib := isa.MustAssemble("victim", `
+			.global victim, gadget
+			.text
+			victim:
+				mov eax, 1
+				ret
+			gadget:
+				mov eax, 666
+				ret
+		`)
+		_, libIm, err := a.DL.Dlopen(lib, loader.LibraryOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The application's own module calls victim via PLT/GOT.
+		appObj := isa.MustAssemble("appmod", `
+			.global appcall
+			.text
+			appcall:
+				call victim
+				ret
+		`)
+		opt := loader.LibraryOptions()
+		opt.SealGOT = seal
+		_, im, err2 := a.DL.Dlopen(appObj, opt)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		// The attacker extension writes [got] = gadget.
+		h := mustOpen(t, a, `
+			.global smash
+			.text
+			smash:
+				mov edx, [esp+4]     ; argument block
+				mov eax, [edx]       ; GOT slot address
+				mov ecx, [edx+4]     ; gadget address
+				mov [eax], ecx
+				ret
+		`)
+		pf := mustSym(t, a, h, "smash")
+		return a, im, pf, libIm.Syms["gadget"]
+	}
+
+	// Unsealed: the attack succeeds and hijacks the app's call.
+	a, im, pf, gadget := build(false)
+	args, err := a.XAlloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.WriteMem(args, leBytes(im.GOTBase, gadget))
+	if _, err := pf.Call(args); err != nil {
+		t.Fatalf("unsealed GOT write should succeed: %v", err)
+	}
+	got, err := a.CallUnprotected(im.Syms["appcall"], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 666 {
+		t.Errorf("hijack demo: appcall = %d, expected gadget's 666", got)
+	}
+
+	// Sealed: the same attack faults and the app's call is intact.
+	a, im, pf, gadget = build(true)
+	args, _ = a.XAlloc(8)
+	a.WriteMem(args, leBytes(im.GOTBase, gadget))
+	if _, err := pf.Call(args); !errors.Is(err, ErrExtensionFault) {
+		t.Fatalf("sealed GOT write: err = %v, want fault", err)
+	}
+	got, err = a.CallUnprotected(im.Syms["appcall"], 0)
+	if err != nil || got != 1 {
+		t.Errorf("appcall after blocked attack = %d, %v; want 1", got, err)
+	}
+}
+
+func leBytes(vals ...uint32) []byte {
+	out := make([]byte, 0, len(vals)*4)
+	for _, v := range vals {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return out
+}
+
+// TestForkedAppInheritsProtection checks Section 4.5.2: a promoted
+// application's fork stays at SPL 2 with its page privileges intact.
+func TestForkedAppInheritsProtection(t *testing.T) {
+	s := newSystem(t)
+	a := newApp(t, s)
+	secret, _ := a.P.Mmap(s.K, 0, mem.PageSize, true, "secret")
+	if err := a.P.Touch(s.K, secret, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	child, err := s.K.Fork(a.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.TaskSPL != 2 {
+		t.Error("forked clone must continue at SPL 2")
+	}
+	if child.AS.Lookup(secret).User() {
+		t.Error("forked clone's secret page must stay PPL 0")
+	}
+	// Exec resets (new processes "by default should start at SPL 3").
+	if err := s.K.Exec(child); err != nil {
+		t.Fatal(err)
+	}
+	if child.TaskSPL != 3 {
+		t.Error("exec must reset the clone to SPL 3")
+	}
+}
+
+// TestExtensionUsesLibcMemcpyOnSharedArea exercises a realistic
+// extension: it memcpy's between two shared buffers via the PLT.
+func TestExtensionUsesLibcMemcpyOnSharedArea(t *testing.T) {
+	s := newSystem(t)
+	a := newApp(t, s)
+	h := mustOpen(t, a, `
+		.global copy16
+		.text
+		copy16:
+			mov eax, [esp+4]     ; arg block: [dst][src]
+			push 16
+			push [eax+4]
+			push [eax]
+			call memcpy
+			add esp, 12
+			ret
+	`)
+	pf := mustSym(t, a, h, "copy16")
+	shared, err := a.SharedAlloc(mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := shared, shared+256
+	if err := a.WriteString(src, "segmentation+pg"); err != nil {
+		t.Fatal(err)
+	}
+	args, _ := a.XAlloc(8)
+	a.WriteMem(args, leBytes(dst, src))
+	if _, err := pf.Call(args); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.ReadString(dst, 32)
+	if got != "segmentation+pg" {
+		t.Errorf("memcpy result = %q", got)
+	}
+}
+
+// TestTwoExtensionModulesNoMutualProtection documents the stated
+// non-goal: "among extension modules, the protection is only for
+// safety but not for security" — two user extensions of one app can
+// touch each other's PPL-1 data.
+func TestTwoExtensionModulesNoMutualProtection(t *testing.T) {
+	s := newSystem(t)
+	a := newApp(t, s)
+	h1 := mustOpen(t, a, `
+		.global get
+		.text
+		get:
+			mov eax, [stash]
+			ret
+		.data
+		.global stash
+		stash: .word 7
+	`)
+	stashAddr, err := a.Dlsym(h1, "stash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := mustOpen(t, a, `
+		.global poke
+		.text
+		poke:
+			mov eax, [esp+4]
+			mov [eax], 99
+			ret
+	`)
+	poke := mustSym(t, a, h2, "poke")
+	if _, err := poke.Call(stashAddr); err != nil {
+		t.Fatalf("cross-extension write should be allowed: %v", err)
+	}
+	get := mustSym(t, a, h1, "get")
+	if got, _ := get.Call(0); got != 99 {
+		t.Errorf("stash = %d, want 99 (modules share the PPL-1 domain)", got)
+	}
+}
+
+// TestXAllocExhaustion covers the xmalloc heap bound.
+func TestXAllocExhaustion(t *testing.T) {
+	s := newSystem(t)
+	a := newApp(t, s)
+	if _, err := a.XAlloc(64 * mem.PageSize); err != nil {
+		t.Fatal("first large xalloc should fit")
+	}
+	if _, err := a.XAlloc(16); err == nil {
+		t.Error("exhausted xmalloc heap must error")
+	}
+}
+
+// TestProtectedCallGapConstantAcrossArgs pins the Table 2 observation
+// that the protected-unprotected difference is constant (~142 cycles)
+// regardless of the argument value.
+func TestProtectedCallGapConstantAcrossArgs(t *testing.T) {
+	s := newSystem(t)
+	a := newApp(t, s)
+	h := mustOpen(t, a, incSrc)
+	pf := mustSym(t, a, h, "inc")
+	raw, _ := a.Dlsym(h, "inc")
+	pf.Call(0)                // warm
+	a.CallUnprotected(raw, 0) // warm
+	clock := s.Clock()
+	var gaps []float64
+	for _, arg := range []uint32{0, 1, 1 << 20, 0xFFFF_FFFF} {
+		var protErr error
+		prot := clock.Span(func() { _, protErr = pf.Call(arg) })
+		unprot := clock.Span(func() { _, _ = a.CallUnprotected(raw, arg) })
+		if protErr != nil {
+			t.Fatal(protErr)
+		}
+		gaps = append(gaps, prot-unprot)
+	}
+	for _, g := range gaps[1:] {
+		if g != gaps[0] {
+			t.Fatalf("gap varies with argument: %v", gaps)
+		}
+	}
+	if gaps[0] < 130 || gaps[0] > 160 {
+		t.Errorf("protected-unprotected gap = %v cycles, paper ~118-153", gaps[0])
+	}
+}
+
+// TestKernelServiceRunsOnCallersKernelStack checks the Section 4.3
+// statement that kernel services invoked by extensions execute on the
+// kernel stack of the triggering user process.
+func TestKernelServiceRunsOnCallersKernelStack(t *testing.T) {
+	s := newSystem(t)
+	p, _ := s.K.CreateProcess()
+	var sawESP uint32
+	s.K.RegisterKernelService(9, func(k *kernel.Kernel, proc *kernel.Process, _, _, _ uint32) uint32 {
+		sawESP = k.Machine.Reg(isa.ESP)
+		return 0
+	})
+	seg, _ := s.NewExtSegment("svc", 0)
+	s.Insmod(seg, isa.MustAssemble("m", `
+		.global callsvc
+		.text
+		callsvc:
+			mov eax, 9
+			int 0x81
+			ret
+	`))
+	f, _ := s.ExtensionFunction("callsvc")
+	if _, err := f.Invoke(0); err != nil {
+		t.Fatal(err)
+	}
+	top := p.KStackTop - kernel.KernelBase
+	if sawESP == 0 || sawESP > top || top-sawESP > mem.PageSize {
+		t.Errorf("service ESP = %#x, expected within the caller's kernel stack (top %#x)", sawESP, top)
+	}
+}

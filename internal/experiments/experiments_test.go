@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's Inter and Intra columns, reproduced exactly.
+	wantInter := []float64{26, 34, 75, 7, 142}
+	wantIntra := []float64{2, 3, 3, 2, 10}
+	for i, r := range rows {
+		if r.Inter != wantInter[i] {
+			t.Errorf("%s: inter = %v, paper %v", r.Component, r.Inter, wantInter[i])
+		}
+		if r.Intra != wantIntra[i] {
+			t.Errorf("%s: intra = %v, paper %v", r.Component, r.Intra, wantIntra[i])
+		}
+		if r.Hardware >= r.Inter && r.Component != "Total Cost" && r.Hardware != 0 {
+			t.Errorf("%s: hardware column %v must be below measured %v", r.Component, r.Hardware, r.Inter)
+		}
+	}
+	// The hardware (manual) lcall anchor: 44 cycles.
+	if rows[2].Hardware != 44 {
+		t.Errorf("hardware return = %v, paper 44", rows[2].Hardware)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2([]int{32, 64, 128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperRPC := []float64{349.19, 352.55, 374.20, 423.33}
+	for i, r := range rows {
+		// Palladium tracks the unprotected call with a near-constant
+		// gap (paper: 118-153 cycles = 0.59-0.77 us).
+		gap := (r.Palladium - r.Unprotected) * 200 // cycles
+		if gap < 100 || gap > 200 {
+			t.Errorf("size %d: protected-unprotected gap = %.0f cycles, paper 118-153", r.Size, gap)
+		}
+		// RPC is orders of magnitude slower and near the paper's
+		// absolute values.
+		if r.RPC < paperRPC[i]*0.9 || r.RPC > paperRPC[i]*1.15 {
+			t.Errorf("size %d: RPC = %.2f us, paper %.2f", r.Size, r.RPC, paperRPC[i])
+		}
+		if r.RPC < 10*r.Palladium {
+			t.Errorf("size %d: RPC %.2f not >> Palladium %.2f", r.Size, r.RPC, r.Palladium)
+		}
+	}
+	// Monotone growth in string size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Unprotected <= rows[i-1].Unprotected {
+			t.Error("unprotected latency must grow with string size")
+		}
+	}
+	// Two orders of magnitude at 32 bytes (paper's phrasing).
+	if rows[0].RPC < 100*rows[0].Palladium {
+		t.Errorf("at 32B RPC %.2f not two orders above Palladium %.2f", rows[0].RPC, rows[0].Palladium)
+	}
+}
+
+func TestVerifyReverse(t *testing.T) {
+	got, err := VerifyReverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "muidallap" {
+		t.Errorf("reverse = %q", got)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3([]uint32{28, 100 * 1024}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := rows[0], rows[1]
+	// Orderings from the paper.
+	if !(small.WebServer > small.LibCGIUnprot && small.LibCGIUnprot > small.LibCGIProt &&
+		small.LibCGIProt > small.FastCGI && small.FastCGI > small.CGI) {
+		t.Errorf("28B ordering violated: %+v", small)
+	}
+	if small.LibCGIProt < 2*small.FastCGI {
+		t.Error("protected LibCGI must be at least 2x FastCGI at 28B")
+	}
+	// Convergence at 100 KB.
+	if big.LibCGIProt < big.WebServer*0.95 {
+		t.Errorf("100KB: protected %v should converge to static %v", big.LibCGIProt, big.WebServer)
+	}
+	if big.CGI > big.WebServer*0.75 {
+		t.Errorf("100KB: CGI %v should stay well below static %v", big.CGI, big.WebServer)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	pts, err := Figure7(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[4].BPF < 2*pts[4].Palladium {
+		t.Errorf("at 4 terms BPF %v not >= 2x Palladium %v", pts[4].BPF, pts[4].Palladium)
+	}
+	bpfSlope := (pts[4].BPF - pts[0].BPF) / 4
+	palSlope := (pts[4].Palladium - pts[0].Palladium) / 4
+	if palSlope > bpfSlope/4 {
+		t.Errorf("Palladium slope %v vs BPF %v: compiled filter must be nearly flat", palSlope, bpfSlope)
+	}
+}
+
+func TestMicroAnchors(t *testing.T) {
+	m, err := MeasureMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SIGSEGVDeliveryCycles != 3325 {
+		t.Errorf("SIGSEGV delivery = %v, paper 3,325", m.SIGSEGVDeliveryCycles)
+	}
+	if m.KernelGPFaultCycles != 1020 {
+		t.Errorf("GP processing = %v, paper 1,020", m.KernelGPFaultCycles)
+	}
+	if m.PalladiumCallCycles != 142 {
+		t.Errorf("protected call = %v, paper 142", m.PalladiumCallCycles)
+	}
+	if m.L4RoundTripCycles != 242 {
+		t.Errorf("L4 = %v, paper 242", m.L4RoundTripCycles)
+	}
+	if m.SegRegLoadCycles != 12 {
+		t.Errorf("segment register load = %v, paper 12", m.SegRegLoadCycles)
+	}
+	if m.DlopenMicros < 300 || m.DlopenMicros > 500 {
+		t.Errorf("dlopen = %v us, paper ~400", m.DlopenMicros)
+	}
+	if m.SegDlopenMicros <= m.DlopenMicros {
+		t.Error("seg_dlopen must cost more than dlopen (PPL marking)")
+	}
+	if d := m.SegDlopenMicros - m.DlopenMicros; d < 5 || d > 60 {
+		t.Errorf("seg_dlopen - dlopen = %v us, paper ~20", d)
+	}
+}
+
+func TestAblationSFIMonotone(t *testing.T) {
+	pts, err := AblationSFI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].OverheadPct <= pts[i-1].OverheadPct {
+			t.Errorf("SFI overhead not increasing with density: %+v", pts)
+			break
+		}
+	}
+	if pts[0].OverheadPct > 20 {
+		t.Errorf("sparse workload overhead = %.1f%%, expected small", pts[0].OverheadPct)
+	}
+	if last := pts[len(pts)-1].OverheadPct; last < 40 {
+		t.Errorf("dense workload overhead = %.1f%%, expected large", last)
+	}
+}
+
+func TestAblationCrossings(t *testing.T) {
+	cc, err := AblationCrossings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Palladium2Crossings != 142 || cc.L4Style4Crossings != 242 {
+		t.Errorf("crossings comparison = %+v", cc)
+	}
+	if cc.TSSSyscallVariant <= cc.Palladium2Crossings {
+		t.Error("the rejected TSS-syscall variant must cost more than Palladium's design")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var b strings.Builder
+	rows1, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable1(&b, rows1)
+	if !strings.Contains(b.String(), "142") {
+		t.Error("Table 1 rendering missing total")
+	}
+	b.Reset()
+	RenderTable2(&b, []Table2Row{{Size: 32, Unprotected: 2.2, Palladium: 2.9, RPC: 349.2}})
+	if !strings.Contains(b.String(), "349.20") {
+		t.Error("Table 2 rendering wrong")
+	}
+	b.Reset()
+	RenderTable3(&b, []Table3Row{{Size: 28, CGI: 98, FastCGI: 193, LibCGIProt: 437, LibCGIUnprot: 448, WebServer: 460}})
+	if !strings.Contains(b.String(), "28 Bytes") {
+		t.Error("Table 3 rendering wrong")
+	}
+	b.Reset()
+	RenderFigure7(&b, []Figure7Point{{Terms: 4, BPF: 900, Palladium: 300}})
+	if !strings.Contains(b.String(), "900") {
+		t.Error("Figure 7 rendering wrong")
+	}
+	b.Reset()
+	RenderMicro(&b, Micro{PalladiumCallCycles: 142})
+	if !strings.Contains(b.String(), "3,325") {
+		t.Error("micro rendering wrong")
+	}
+	b.Reset()
+	RenderAblations(&b, []SFIPoint{{MemOpsPercent: 50, OverheadPct: 80}}, CrossingsComparison{142, 242, 900})
+	if !strings.Contains(b.String(), "242") {
+		t.Error("ablation rendering wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderTable1 prints the decomposition like the paper's Table 1.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: protected call cost decomposition (CPU cycles)\n")
+	fmt.Fprintf(w, "%-22s %8s %8s %10s\n", "Component", "Inter", "Intra", "Hardware")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %8.0f %8.0f %10.0f\n", r.Component, r.Inter, r.Intra, r.Hardware)
+	}
+}
+
+// RenderTable2 prints the string-reverse latencies like Table 2.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table 2: string reverse latency (microseconds)\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s\n", "Size (bytes)", "Unprotected", "Palladium", "Linux RPC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14d %12.2f %12.2f %12.2f\n", r.Size, r.Unprotected, r.Palladium, r.RPC)
+	}
+}
+
+// RenderTable3 prints the CGI throughput comparison like Table 3.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "Table 3: CGI execution throughput (requests/second)\n")
+	fmt.Fprintf(w, "%-12s %8s %9s %12s %14s %10s\n",
+		"File size", "CGI", "FastCGI", "LibCGI(prot)", "LibCGI(unprot)", "WebServer")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8.0f %9.0f %12.0f %14.0f %10.0f\n",
+			sizeLabel(r.Size), r.CGI, r.FastCGI, r.LibCGIProt, r.LibCGIUnprot, r.WebServer)
+	}
+}
+
+func sizeLabel(n uint32) string {
+	switch {
+	case n >= 1024 && n%1024 == 0:
+		return fmt.Sprintf("%d KBytes", n/1024)
+	default:
+		return fmt.Sprintf("%d Bytes", n)
+	}
+}
+
+// RenderFigure7 prints the filter comparison as the series behind
+// Figure 7.
+func RenderFigure7(w io.Writer, pts []Figure7Point) {
+	fmt.Fprintf(w, "Figure 7: packet filter cost vs number of conjunction terms (cycles)\n")
+	fmt.Fprintf(w, "%-8s %10s %12s\n", "Terms", "BPF", "Palladium")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8d %10.0f %12.0f\n", p.Terms, p.BPF, p.Palladium)
+	}
+}
+
+// RenderMicro prints the Section 5.1 micro-measurements.
+func RenderMicro(w io.Writer, m Micro) {
+	fmt.Fprintf(w, "Section 5.1 micro-measurements\n")
+	fmt.Fprintf(w, "%-44s %10.0f   (paper: 142)\n", "protected call + return (cycles)", m.PalladiumCallCycles)
+	fmt.Fprintf(w, "%-44s %10.0f   (paper: 3,325)\n", "SIGSEGV fault-to-delivery (cycles)", m.SIGSEGVDeliveryCycles)
+	fmt.Fprintf(w, "%-44s %10.0f   (paper: 1,020)\n", "kernel extension #GP processing (cycles)", m.KernelGPFaultCycles)
+	fmt.Fprintf(w, "%-44s %10.1f   (paper: ~400)\n", "dlopen of null extension (us)", m.DlopenMicros)
+	fmt.Fprintf(w, "%-44s %10.1f   (paper: ~420)\n", "seg_dlopen of null extension (us)", m.SegDlopenMicros)
+	fmt.Fprintf(w, "%-44s %10.0f   (paper: 12)\n", "segment register load (cycles)", m.SegRegLoadCycles)
+	fmt.Fprintf(w, "%-44s %10.0f   (paper: 242)\n", "L4-style IPC round trip (cycles)", m.L4RoundTripCycles)
+}
+
+// RenderAblations prints the design-choice studies.
+func RenderAblations(w io.Writer, sfiPts []SFIPoint, cc CrossingsComparison) {
+	fmt.Fprintf(w, "Ablation: SFI overhead vs memory-op density\n")
+	fmt.Fprintf(w, "%-18s %12s\n", "mem ops / 100", "overhead %%")
+	for _, p := range sfiPts {
+		fmt.Fprintf(w, "%-18d %11.1f%%\n", p.MemOpsPercent, p.OverheadPct)
+	}
+	fmt.Fprintf(w, "\nAblation: domain-crossing strategies (cycles per logical call)\n")
+	fmt.Fprintf(w, "%-44s %8.0f\n", "Palladium (2 crossings, Figure 6)", cc.Palladium2Crossings)
+	fmt.Fprintf(w, "%-44s %8.0f\n", "L4-style IPC (4 crossings)", cc.L4Style4Crossings)
+	fmt.Fprintf(w, "%-44s %8.0f\n", "rejected: TSS update via system call", cc.TSSSyscallVariant)
+}

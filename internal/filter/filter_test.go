@@ -1,0 +1,149 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/bpf"
+	"repro/internal/core"
+	"repro/internal/cycles"
+)
+
+func sys(t *testing.T) *core.System {
+	t.Helper()
+	s, err := core.NewSystem(cycles.Measured())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.K.CreateProcess(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPacketShape(t *testing.T) {
+	p := MakeUDPPacket(1234, 53, 64)
+	if len(p) != 64 {
+		t.Fatalf("len = %d", len(p))
+	}
+	if p[12] != 0x08 || p[13] != 0x00 || p[23] != 17 {
+		t.Error("header fields wrong")
+	}
+	if got := uint16(p[36])<<8 | uint16(p[37]); got != 53 {
+		t.Errorf("dst port = %d", got)
+	}
+}
+
+func TestTermsAllTrue(t *testing.T) {
+	p := MakeUDPPacket(1, 2, 64)
+	in := bpf.NewInterp(cycles.NewClock(200))
+	for n := 0; n <= 4; n++ {
+		v, err := in.Run(bpf.Conjunction(TermsTrueFor(p, n)), p)
+		if err != nil || v != 1 {
+			t.Errorf("%d terms: verdict %d err %v", n, v, err)
+		}
+	}
+}
+
+func TestInterpretedAndCompiledAgree(t *testing.T) {
+	s := sys(t)
+	p := MakeUDPPacket(99, 53, 64)
+	for n := 0; n <= 4; n++ {
+		terms := TermsTrueFor(p, n)
+		ifil, err := NewInterpreted(s, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfil, err := NewCompiled(s, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := ifil.Match(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := cfil.Match(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if im != cm || !im {
+			t.Errorf("%d terms: interp=%v compiled=%v, want both true", n, im, cm)
+		}
+		// A non-matching packet: both reject.
+		if n > 0 {
+			bad := MakeUDPPacket(99, 53, 64)
+			bad[23] = 6 // TCP breaks the protocol term
+			bad[12] = 0x86
+			im, _ = ifil.Match(bad)
+			cm, err = cfil.Match(bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if im || cm {
+				t.Errorf("%d terms: non-matching packet accepted (interp=%v compiled=%v)", n, im, cm)
+			}
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	// The Figure 7 claims: BPF cost grows significantly with term
+	// count; the compiled Palladium filter stays nearly flat; at 4
+	// terms the compiled filter is more than twice as fast.
+	s := sys(t)
+	p := MakeUDPPacket(99, 53, 64)
+	var bpfCost, palCost [5]float64
+	for n := 0; n <= 4; n++ {
+		terms := TermsTrueFor(p, n)
+		ifil, _ := NewInterpreted(s, terms)
+		cfil, err := NewCompiled(s, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bpfCost[n], err = MeasureMatch(s, ifil, p); err != nil {
+			t.Fatal(err)
+		}
+		if palCost[n], err = MeasureMatch(s, cfil, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bpfSlope := (bpfCost[4] - bpfCost[0]) / 4
+	palSlope := (palCost[4] - palCost[0]) / 4
+	if bpfSlope < 100 {
+		t.Errorf("BPF slope = %v cycles/term, expected substantial growth", bpfSlope)
+	}
+	if palSlope > bpfSlope/5 {
+		t.Errorf("Palladium slope %v not clearly flatter than BPF %v", palSlope, bpfSlope)
+	}
+	if bpfCost[4] < 2*palCost[4] {
+		t.Errorf("at 4 terms: BPF %v < 2x Palladium %v; paper reports >2x", bpfCost[4], palCost[4])
+	}
+	// Sanity on absolute bands (Figure 7's y-axis runs 0-1000).
+	if palCost[0] < 142 || palCost[0] > 500 {
+		t.Errorf("Palladium 0-term cost = %v, expected a few hundred cycles", palCost[0])
+	}
+	if bpfCost[4] > 1200 {
+		t.Errorf("BPF 4-term cost = %v, expected under ~1000", bpfCost[4])
+	}
+}
+
+func TestCompiledFilterIsConfined(t *testing.T) {
+	// The compiled filter is a kernel extension: it cannot reach
+	// outside its segment even though it runs in the kernel.
+	s := sys(t)
+	p := MakeUDPPacket(1, 2, 64)
+	cfil, err := NewCompiled(s, TermsTrueFor(p, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The segment descriptor bounds it; verify the segment's limit is
+	// a strict subrange of the kernel space.
+	if cfil.Seg.Limit >= 0x4000_0000 {
+		t.Error("extension segment spans the whole kernel")
+	}
+	if !cfil.Seg.Code.IsNull() == false {
+		t.Error("segment selectors missing")
+	}
+	if cfil.Seg.Code.RPL() != 1 {
+		t.Errorf("filter runs at SPL %d, want 1", cfil.Seg.Code.RPL())
+	}
+}

@@ -1,0 +1,85 @@
+package kernel
+
+// CostSheet holds the software-path cycle costs of the kernel: the work
+// its handlers perform beyond the hardware (gate/fault) costs charged
+// by the CPU and MMU models. The defaults are calibrated against the
+// figures the paper reports for its Linux 2.0.34 / Pentium 200 MHz
+// testbed; EXPERIMENTS.md records each anchor.
+type CostSheet struct {
+	// SyscallEntry/SyscallExit: register save/restore, kernel-entry
+	// bookkeeping around the int-gate and iret hardware costs.
+	SyscallEntry float64
+	SyscallExit  float64
+
+	// ContextSwitch: scheduler + state switch, excluding the TLB
+	// flush (charged separately by the CR3 load it triggers).
+	ContextSwitch float64
+
+	// Fork and Exec: process duplication / image replacement. The
+	// paper's Table 3 CGI column prices one fork+exec per request;
+	// these values reproduce its ~98 req/s at 28 bytes.
+	Fork float64
+	Exec float64
+
+	// PFHandler: the page-fault handler software path, including the
+	// Palladium check of Section 4.5.2 (application SPL, faulting code
+	// segment SPL, page PPL and permission bits).
+	PFHandler float64
+	// GPHandler: general-protection fault processing for kernel
+	// extensions. FaultRaise (hardware) + GPHandler = 1,020 cycles,
+	// the paper's section 5.1 figure.
+	GPHandler float64
+	// SignalDeliver: composing and delivering a signal frame to a
+	// user process. FaultRaise + PFHandler + SignalDeliver = 3,325
+	// cycles, the paper's SIGSEGV-delivery figure.
+	SignalDeliver float64
+
+	// PPLMarkStart and PPLMarkPerPage: the cost of flipping page
+	// privilege levels (set_range / init_PL): "a start-up cost of
+	// 3000 to 5000 cycles, plus 45 cycles per page marked".
+	PPLMarkStart   float64
+	PPLMarkPerPage float64
+
+	// CopyPerByte: kernel copyin/copyout cost per byte (syscall
+	// argument and socket data copies).
+	CopyPerByte float64
+
+	// MapPage: establishing one page mapping in the page tables
+	// (demand-paging service cost per faulted-in page).
+	MapPage float64
+
+	// DlopenBase: the dynamic-library open path (file lookup, mmap of
+	// segments, relocation bookkeeping) excluding per-page and
+	// per-symbol work; calibrated so plain dlopen of the null
+	// extension lands near the paper's 400 microseconds.
+	DlopenBase      float64
+	DlopenPerSymbol float64
+	DlopenPerPage   float64
+
+	// TimerTick: the timer-interrupt path used to police extension
+	// CPU-time limits.
+	TimerTick float64
+}
+
+// DefaultCosts returns the calibrated cost sheet (see EXPERIMENTS.md
+// for the paper anchors).
+func DefaultCosts() *CostSheet {
+	return &CostSheet{
+		SyscallEntry:    120,
+		SyscallExit:     80,
+		ContextSwitch:   450,
+		Fork:            220_000,
+		Exec:            180_000,
+		PFHandler:       1_200,
+		GPHandler:       900,
+		SignalDeliver:   2_005,
+		PPLMarkStart:    4_000,
+		PPLMarkPerPage:  45,
+		CopyPerByte:     1.0,
+		MapPage:         400,
+		DlopenBase:      72_000,
+		DlopenPerSymbol: 350,
+		DlopenPerPage:   60,
+		TimerTick:       180,
+	}
+}

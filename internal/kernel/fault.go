@@ -1,0 +1,95 @@
+package kernel
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/mmu"
+)
+
+// FaultDisposition is the kernel's verdict on a hardware fault.
+type FaultDisposition int
+
+const (
+	// Retry: the fault was demand paging; re-execute the instruction.
+	Retry FaultDisposition = iota
+	// SignalDelivered: a protection violation by a user extension;
+	// SIGSEGV was delivered to the extensible application and the
+	// extension invocation must be aborted (Section 4.5.2).
+	SignalDelivered
+	// KernelExtensionFault: a kernel extension violated its segment;
+	// the kernel aborts the offending extension (Section 4.5.2).
+	KernelExtensionFault
+	// Fatal: an unrecoverable fault (kernel bug or corrupt state).
+	Fatal
+)
+
+func (d FaultDisposition) String() string {
+	switch d {
+	case Retry:
+		return "retry"
+	case SignalDelivered:
+		return "signal-delivered"
+	case KernelExtensionFault:
+		return "kernel-extension-fault"
+	case Fatal:
+		return "fatal"
+	}
+	return "unknown"
+}
+
+// HandleFault is the kernel's fault entry point, merging the standard
+// Linux page-fault path with the Palladium check of Section 4.5.2:
+// "whether an extension attempts to access the extended application's
+// memory that is outside the extension segment ... based on the
+// application's SPL, the SPL of the code segment of the routine that
+// causes the page fault, and the page's PPL and permission bits."
+func (k *Kernel) HandleFault(p *Process, f *mmu.Fault) FaultDisposition {
+	k.Clock.Charge(k.Model, cycles.FaultRaise)
+	switch f.Kind {
+	case mmu.PF:
+		k.Clock.Add(k.Costs.PFHandler)
+		if f.Linear <= UserLimit {
+			if r := p.Region(f.Linear); r != nil && !p.AS.Lookup(f.Linear).Present() {
+				// Demand paging: map the page and restart.
+				if ok, err := p.FaultIn(k, f.Linear); ok && err == nil {
+					return Retry
+				}
+			}
+		}
+		// Palladium check: faulting code at SPL 3, application at
+		// taskSPL 2, page at PPL 0 (or write to a read-only page such
+		// as the GOT) => the extension stepped outside its domain.
+		if f.CPL == 3 && p.TaskSPL == 2 {
+			k.DeliverSignal(p, SignalInfo{Sig: SIGSEGV, Fault: f, Reason: "user extension protection violation"})
+			return SignalDelivered
+		}
+		// An ordinary process touching memory it never mapped.
+		if f.CPL == 3 {
+			k.DeliverSignal(p, SignalInfo{Sig: SIGSEGV, Fault: f, Reason: "segmentation fault"})
+			return SignalDelivered
+		}
+		if f.CPL == 1 {
+			// Kernel extension faulting on a page-level check.
+			k.Clock.Add(k.Costs.GPHandler - k.Costs.PFHandler)
+			return KernelExtensionFault
+		}
+		return Fatal
+
+	case mmu.GP, mmu.SS, mmu.NP, mmu.UD:
+		if f.CPL == 1 {
+			// A kernel extension escaping its segment trips the
+			// segment-limit or SPL check: "an offending access would
+			// cause a general protection exception" — 1,020 cycles
+			// average (FaultRaise + GPHandler).
+			k.Clock.Add(k.Costs.GPHandler)
+			return KernelExtensionFault
+		}
+		if f.CPL == 3 {
+			k.Clock.Add(k.Costs.GPHandler)
+			k.DeliverSignal(p, SignalInfo{Sig: SIGSEGV, Fault: f, Reason: "general protection fault"})
+			return SignalDelivered
+		}
+		k.Clock.Add(k.Costs.GPHandler)
+		return Fatal
+	}
+	return Fatal
+}

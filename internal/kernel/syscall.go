@@ -1,0 +1,284 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// System call numbers (Linux 2.0-flavoured where they exist, with the
+// Palladium additions of Section 4 given numbers above 200).
+const (
+	SysExit     = 1
+	SysFork     = 2
+	SysWrite    = 4
+	SysGetpid   = 20
+	SysBrk      = 45
+	SysMmap     = 90
+	SysMprotect = 125
+	// SysInitPL promotes an extensible application to SPL 2 and marks
+	// its writable pages PPL 0 (Section 4.4.1).
+	SysInitPL = 210
+	// SysSetRange flips the PPL of a page range, exposing pages to
+	// (or hiding them from) SPL-3 extensions.
+	SysSetRange = 211
+)
+
+// Errno values returned (negated) in EAX.
+const (
+	EPERM  = 1
+	ENOMEM = 12
+	EFAULT = 14
+	EINVAL = 22
+	ENOSYS = 38
+)
+
+func errRet(errno int) uint32 { return uint32(-errno) }
+
+// SyscallFn is a system-call implementation. Arguments arrive in EBX,
+// ECX, EDX; the result is returned in EAX.
+type SyscallFn func(k *Kernel, p *Process, a1, a2, a3 uint32) uint32
+
+// RegisterSyscall installs (or overrides) a system call.
+func (k *Kernel) RegisterSyscall(nr uint32, fn SyscallFn) { k.syscalls[nr] = fn }
+
+// RegisterKernelService installs one entry of the pre-defined core
+// kernel service interface exposed to kernel extensions via int 0x81
+// (Section 4.3: "resembles a conventional user-kernel system-call
+// interface").
+func (k *Kernel) RegisterKernelService(nr uint32, fn SyscallFn) { k.kernelServices[nr] = fn }
+
+// syscallEntry is the int 0x80 handler. It enforces the Palladium
+// system-call restriction of Section 4.5.2: when the calling process
+// is at taskSPL 2 but the trapping code segment is at SPL 3 — i.e. a
+// user extension attempting a direct system call — the call is
+// rejected with EPERM. Ordinary SPL-3 processes (taskSPL 3) are
+// unaffected, so non-Palladium applications work as usual.
+func (k *Kernel) syscallEntry(m *cpu.Machine) error {
+	k.Clock.Add(k.Costs.SyscallEntry)
+	p := k.cur
+	if p == nil {
+		return fmt.Errorf("kernel: system call with no current process")
+	}
+	// The interrupt frame on the kernel stack is [EIP][CS][EFLAGS]...
+	retCS, f := m.Peek(4)
+	if f != nil {
+		return f
+	}
+	nr := m.Reg(isa.EAX)
+	var ret uint32
+	switch {
+	case p.TaskSPL == 2 && mmu.Selector(uint16(retCS)).RPL() == 3:
+		ret = errRet(EPERM)
+	default:
+		if fn := k.syscalls[nr]; fn != nil {
+			ret = fn(k, p, m.Reg(isa.EBX), m.Reg(isa.ECX), m.Reg(isa.EDX))
+		} else {
+			ret = errRet(ENOSYS)
+		}
+	}
+	m.SetReg(isa.EAX, ret)
+	k.Clock.Add(k.Costs.SyscallExit)
+	return nil
+}
+
+// kernelServiceEntry is the int 0x81 handler for kernel extensions.
+// The gate's DPL of 1 already guarantees the caller is at SPL 0 or 1.
+func (k *Kernel) kernelServiceEntry(m *cpu.Machine) error {
+	k.Clock.Add(k.Costs.SyscallEntry)
+	nr := m.Reg(isa.EAX)
+	var ret uint32
+	if fn := k.kernelServices[nr]; fn != nil {
+		ret = fn(k, k.cur, m.Reg(isa.EBX), m.Reg(isa.ECX), m.Reg(isa.EDX))
+	} else {
+		ret = errRet(ENOSYS)
+	}
+	m.SetReg(isa.EAX, ret)
+	k.Clock.Add(k.Costs.SyscallExit)
+	return nil
+}
+
+func (k *Kernel) registerDefaultSyscalls() {
+	k.RegisterSyscall(SysGetpid, func(k *Kernel, p *Process, _, _, _ uint32) uint32 {
+		return uint32(p.PID)
+	})
+	k.RegisterSyscall(SysExit, func(k *Kernel, p *Process, code, _, _ uint32) uint32 {
+		k.Exit(p, int(code))
+		return 0
+	})
+	k.RegisterSyscall(SysWrite, func(k *Kernel, p *Process, fd, buf, n uint32) uint32 {
+		if fd != 1 && fd != 2 {
+			return errRet(EINVAL)
+		}
+		b, err := k.CopyFromUser(p, buf, int(n))
+		if err != nil {
+			return errRet(EFAULT)
+		}
+		k.ConsoleOut = append(k.ConsoleOut, b...)
+		return n
+	})
+	k.RegisterSyscall(SysBrk, func(k *Kernel, p *Process, addr, _, _ uint32) uint32 {
+		if addr > p.Brk && addr < MmapBase {
+			p.Brk = addr
+		}
+		return p.Brk
+	})
+	k.RegisterSyscall(SysFork, func(k *Kernel, p *Process, _, _, _ uint32) uint32 {
+		child, err := k.Fork(p)
+		if err != nil {
+			return errRet(ENOMEM)
+		}
+		return uint32(child.PID)
+	})
+	k.RegisterSyscall(SysMmap, func(k *Kernel, p *Process, addr, n, prot uint32) uint32 {
+		a, err := p.mmapInternal(k, addr, n, prot&2 != 0, false, "anon")
+		if err != nil {
+			return errRet(ENOMEM)
+		}
+		return a
+	})
+	k.RegisterSyscall(SysMprotect, func(k *Kernel, p *Process, addr, _, prot uint32) uint32 {
+		// Palladium's modified mprotect: an SPL-3 caller must not
+		// tamper with the protection of an SPL-2 process's memory.
+		// Reaching here from simulated code at SPL 3 in a taskSPL-2
+		// process is already rejected by the syscall filter, so this
+		// guards the remaining combinations.
+		if err := p.Mprotect(k, addr, prot&2 != 0); err != nil {
+			return errRet(EINVAL)
+		}
+		return 0
+	})
+	k.RegisterSyscall(SysInitPL, func(k *Kernel, p *Process, _, _, _ uint32) uint32 {
+		if err := k.InitPL(p); err != nil {
+			return errRet(EPERM)
+		}
+		return 0
+	})
+	k.RegisterSyscall(SysSetRange, func(k *Kernel, p *Process, addr, npages, ppl uint32) uint32 {
+		if err := k.SetRange(p, addr, npages, ppl == 1); err != nil {
+			return errRet(EINVAL)
+		}
+		return 0
+	})
+}
+
+// InitPL implements the init_PL system call (Section 4.4.1): promote
+// the calling process to SPL 2 and set the PPL of all its writable
+// pages to 0. The extension "segment" for user-level extensions is the
+// ordinary SPL-3 user segment pair, which spans the same 0-3 GB as the
+// application's SPL-2 segments — that aliasing is the whole point of
+// the design.
+func (k *Kernel) InitPL(p *Process) error {
+	k.chargeSyscallSoftware()
+	if p.TaskSPL == 2 {
+		return fmt.Errorf("init_PL: already at SPL 2")
+	}
+	p.TaskSPL = 2
+	// Dedicated ring-2 stack page: the hardware pushes a 4-word frame
+	// here on every gate call from SPL 3; Palladium's AppCallGate
+	// ignores the frame (it restores the saved stack pointer), but
+	// the page must exist and must be hidden from extensions (the
+	// writable-page rule puts it at PPL 0).
+	if _, err := p.mmapInternal(k, Ring2GateBase, mem.PageSize, true, false, "ring2-gate"); err != nil {
+		return err
+	}
+	if err := p.Touch(k, Ring2GateBase, mem.PageSize); err != nil {
+		return err
+	}
+	p.Ring2StackTop = Ring2GateBase + mem.PageSize
+
+	// Demote every already-present writable user page to PPL 0;
+	// pages not yet faulted in will follow the modified-mmap rule.
+	k.Clock.Add(k.Costs.PPLMarkStart)
+	marked := 0
+	p.AS.VisitMapped(func(lin uint32, e mmu.PTE) {
+		if lin > UserLimit || !e.Writable() {
+			return
+		}
+		p.AS.SetUser(lin, false)
+		if k.cur == p {
+			k.MMU.InvalidatePage(lin)
+		}
+		marked++
+	})
+	k.Clock.Add(k.Costs.PPLMarkPerPage * float64(marked))
+	if k.cur == p {
+		k.Machine.TSS.SS[2] = ADataSel
+		k.Machine.TSS.ESP[2] = p.Ring2StackTop
+	}
+	return nil
+}
+
+// SetRange implements the set_range system call: flip the PPL of
+// npages pages starting at addr. ppl1=true exposes the pages to SPL-3
+// extensions (shared data, shared library code); false hides them.
+// The cost is the paper's "3000 to 5000 cycles plus 45 cycles per
+// page".
+func (k *Kernel) SetRange(p *Process, addr, npages uint32, ppl1 bool) error {
+	k.chargeSyscallSoftware()
+	if addr&mem.PageMask != 0 {
+		return fmt.Errorf("set_range: unaligned address %#x", addr)
+	}
+	if p.TaskSPL != 2 {
+		return fmt.Errorf("set_range: process not at SPL 2")
+	}
+	end := addr + npages*mem.PageSize
+	if end-1 > UserLimit || end < addr {
+		return fmt.Errorf("set_range: beyond user space")
+	}
+	k.Clock.Add(k.Costs.PPLMarkStart + k.Costs.PPLMarkPerPage*float64(npages))
+	// Make sure the pages exist (the shared area must be materialized
+	// before its PPL can matter), then flip them.
+	if err := p.Touch(k, addr, npages*mem.PageSize); err != nil {
+		return err
+	}
+	for lin := addr; lin < end; lin += mem.PageSize {
+		p.AS.SetUser(lin, ppl1)
+		if k.cur == p {
+			k.MMU.InvalidatePage(lin)
+		}
+	}
+	// Keep demand paging consistent for regions wholly inside the
+	// range.
+	for _, r := range p.Regions {
+		if r.Start >= addr && r.End <= end {
+			r.ForcePPL1 = ppl1
+		}
+	}
+	return nil
+}
+
+// InstallCallGate allocates a GDT call-gate descriptor (the
+// set_call_gate mechanism of Section 4.4.2). gateDPL is the minimum
+// privilege required of callers; the gate lands at targetCS:targetOff.
+func (k *Kernel) InstallCallGate(gateDPL int, targetCS mmu.Selector, targetOff uint32) (mmu.Selector, error) {
+	idx, err := k.AllocGateIndex()
+	if err != nil {
+		return 0, err
+	}
+	k.MMU.GDT.Set(idx, mmu.Descriptor{
+		Kind: mmu.SegCallGate, DPL: gateDPL, Present: true,
+		GateSel: targetCS, GateOff: targetOff,
+	})
+	return mmu.MakeSelector(idx, false, gateDPL), nil
+}
+
+// InstallSegmentPair allocates adjacent code+data descriptors for an
+// extension segment at the given base/limit/DPL, returning the code
+// and data selectors.
+func (k *Kernel) InstallSegmentPair(base, limit uint32, dpl int) (code, data mmu.Selector, err error) {
+	ci, err := k.AllocGateIndex()
+	if err != nil {
+		return 0, 0, err
+	}
+	di, err := k.AllocGateIndex()
+	if err != nil {
+		return 0, 0, err
+	}
+	k.MMU.GDT.Set(ci, mmu.Descriptor{Kind: mmu.SegCode, Base: base, Limit: limit, DPL: dpl, Present: true, Readable: true})
+	k.MMU.GDT.Set(di, mmu.Descriptor{Kind: mmu.SegData, Base: base, Limit: limit, DPL: dpl, Present: true, Writable: true})
+	return mmu.MakeSelector(ci, false, dpl), mmu.MakeSelector(di, false, dpl), nil
+}

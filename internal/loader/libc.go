@@ -1,0 +1,137 @@
+package loader
+
+import "repro/internal/isa"
+
+// libcSrc is the miniature shared C library. The string and memory
+// routines are non-buffering — they keep no internal state — so
+// Palladium lets extensions call them directly through the PLT
+// (Section 4.4.1). bufput/bufflush are deliberately *buffering*
+// (stateful): their data lives in the library's PPL-0 data section, so
+// a direct call from an SPL-3 extension faults on the first buffer
+// write; extensible applications must wrap them as application
+// services, exactly like fprintf in the paper.
+//
+// Calling convention: cdecl — arguments on the stack, result in EAX,
+// EAX/ECX/EDX caller-saved.
+const libcSrc = `
+; ---- non-buffering routines (extension-callable) ----
+.global strlen, strcpy, strcmp, memcpy, memset
+.global bufput, bufcount
+
+.text
+strlen:                 ; size_t strlen(const char *s)
+	mov eax, [esp+4]
+	mov ecx, eax
+strlen_loop:
+	movb edx, [ecx]
+	cmp edx, 0
+	je strlen_done
+	inc ecx
+	jmp strlen_loop
+strlen_done:
+	mov eax, ecx
+	sub eax, [esp+4]
+	ret
+
+strcpy:                 ; char *strcpy(char *dst, const char *src)
+	push esi
+	mov eax, [esp+8]
+	mov ecx, [esp+12]
+	mov esi, eax
+strcpy_loop:
+	movb edx, [ecx]
+	movb [esi], edx
+	cmp edx, 0
+	je strcpy_done
+	inc ecx
+	inc esi
+	jmp strcpy_loop
+strcpy_done:
+	pop esi
+	ret
+
+strcmp:                 ; int strcmp(const char *a, const char *b)
+	push ebx
+	mov ecx, [esp+8]
+	mov edx, [esp+12]
+strcmp_loop:
+	movb eax, [ecx]
+	movb ebx, [edx]
+	cmp eax, ebx
+	jne strcmp_diff
+	cmp eax, 0
+	je strcmp_loop_done
+	inc ecx
+	inc edx
+	jmp strcmp_loop
+strcmp_diff:
+	sub eax, ebx
+	pop ebx
+	ret
+strcmp_loop_done:
+	mov eax, 0
+	pop ebx
+	ret
+
+memcpy:                 ; void *memcpy(void *dst, const void *src, size_t n)
+	push esi
+	push edi
+	mov edi, [esp+12]
+	mov esi, [esp+16]
+	mov ecx, [esp+20]
+memcpy_loop:
+	cmp ecx, 0
+	je memcpy_done
+	movb edx, [esi]
+	movb [edi], edx
+	inc esi
+	inc edi
+	dec ecx
+	jmp memcpy_loop
+memcpy_done:
+	mov eax, [esp+12]
+	pop edi
+	pop esi
+	ret
+
+memset:                 ; void *memset(void *dst, int c, size_t n)
+	push edi
+	mov edi, [esp+8]
+	mov edx, [esp+12]
+	mov ecx, [esp+16]
+memset_loop:
+	cmp ecx, 0
+	je memset_done
+	movb [edi], edx
+	inc edi
+	dec ecx
+	jmp memset_loop
+memset_done:
+	mov eax, [esp+8]
+	pop edi
+	ret
+
+; ---- buffering routines (NOT extension-callable: PPL-0 data) ----
+bufput:                 ; int bufput(int c): append to internal buffer
+	mov ecx, [buf_pos]
+	mov edx, [esp+4]
+	movb [buf_data+ecx], edx
+	inc ecx
+	and ecx, 255        ; wrap
+	mov [buf_pos], ecx
+	mov eax, ecx
+	ret
+
+bufcount:               ; int bufcount(void)
+	mov eax, [buf_pos]
+	ret
+
+.data
+buf_pos:  .word 0
+buf_data: .space 256
+`
+
+// Libc assembles a fresh copy of the miniature shared libc.
+func Libc() *isa.Object {
+	return isa.MustAssemble("libc", libcSrc)
+}

@@ -1,0 +1,162 @@
+// Package mem implements the simulated physical memory and the page
+// frame allocator. Physical memory is sparse: 4 KB frames are allocated
+// on first touch, so a 4 GB physical address space costs only what is
+// actually used.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the size of a physical page frame in bytes (4 KB, as on
+// the Intel x86 architecture).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageMask masks the offset within a page.
+const PageMask = PageSize - 1
+
+// Physical is a sparse physical memory.
+type Physical struct {
+	frames map[uint32]*[PageSize]byte
+}
+
+// NewPhysical returns an empty physical memory.
+func NewPhysical() *Physical {
+	return &Physical{frames: make(map[uint32]*[PageSize]byte)}
+}
+
+func (p *Physical) frame(pa uint32) *[PageSize]byte {
+	fn := pa >> PageShift
+	f := p.frames[fn]
+	if f == nil {
+		f = new([PageSize]byte)
+		p.frames[fn] = f
+	}
+	return f
+}
+
+// Read8 reads one byte at physical address pa.
+func (p *Physical) Read8(pa uint32) byte {
+	return p.frame(pa)[pa&PageMask]
+}
+
+// Write8 writes one byte at physical address pa.
+func (p *Physical) Write8(pa uint32, v byte) {
+	p.frame(pa)[pa&PageMask] = v
+}
+
+// Read32 reads a little-endian 32-bit word at pa. Accesses that
+// straddle a frame boundary are assembled byte-wise (the MMU has
+// already translated and checked each page).
+func (p *Physical) Read32(pa uint32) uint32 {
+	if pa&PageMask <= PageSize-4 {
+		f := p.frame(pa)
+		off := pa & PageMask
+		return binary.LittleEndian.Uint32(f[off : off+4])
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(p.Read8(pa+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write32 writes a little-endian 32-bit word at pa.
+func (p *Physical) Write32(pa uint32, v uint32) {
+	if pa&PageMask <= PageSize-4 {
+		f := p.frame(pa)
+		off := pa & PageMask
+		binary.LittleEndian.PutUint32(f[off:off+4], v)
+		return
+	}
+	for i := uint32(0); i < 4; i++ {
+		p.Write8(pa+i, byte(v>>(8*i)))
+	}
+}
+
+// Read16 reads a little-endian 16-bit word at pa.
+func (p *Physical) Read16(pa uint32) uint16 {
+	return uint16(p.Read8(pa)) | uint16(p.Read8(pa+1))<<8
+}
+
+// Write16 writes a little-endian 16-bit word at pa.
+func (p *Physical) Write16(pa uint32, v uint16) {
+	p.Write8(pa, byte(v))
+	p.Write8(pa+1, byte(v>>8))
+}
+
+// ReadBytes copies n bytes starting at pa into a new slice.
+func (p *Physical) ReadBytes(pa uint32, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = p.Read8(pa + uint32(i))
+	}
+	return b
+}
+
+// WriteBytes copies b into physical memory starting at pa.
+func (p *Physical) WriteBytes(pa uint32, b []byte) {
+	for i, v := range b {
+		p.Write8(pa+uint32(i), v)
+	}
+}
+
+// Zero clears n bytes starting at pa.
+func (p *Physical) Zero(pa uint32, n int) {
+	for i := 0; i < n; i++ {
+		p.Write8(pa+uint32(i), 0)
+	}
+}
+
+// FrameCount reports how many frames have been touched.
+func (p *Physical) FrameCount() int { return len(p.frames) }
+
+// FrameAllocator hands out physical page frames from a fixed region of
+// physical memory. Frames are identified by their physical base
+// address.
+type FrameAllocator struct {
+	next  uint32
+	limit uint32
+	free  []uint32
+}
+
+// NewFrameAllocator manages frames in [start, start+size).
+// Both start and size must be page-aligned.
+func NewFrameAllocator(start, size uint32) *FrameAllocator {
+	if start&PageMask != 0 || size&PageMask != 0 {
+		panic(fmt.Sprintf("mem: unaligned frame region %#x+%#x", start, size))
+	}
+	return &FrameAllocator{next: start, limit: start + size}
+}
+
+// Alloc returns the base physical address of a fresh frame.
+func (a *FrameAllocator) Alloc() (uint32, error) {
+	if n := len(a.free); n > 0 {
+		pa := a.free[n-1]
+		a.free = a.free[:n-1]
+		return pa, nil
+	}
+	if a.next >= a.limit {
+		return 0, fmt.Errorf("mem: out of physical frames (limit %#x)", a.limit)
+	}
+	pa := a.next
+	a.next += PageSize
+	return pa, nil
+}
+
+// Free returns a frame to the allocator.
+func (a *FrameAllocator) Free(pa uint32) {
+	if pa&PageMask != 0 {
+		panic(fmt.Sprintf("mem: freeing unaligned frame %#x", pa))
+	}
+	a.free = append(a.free, pa)
+}
+
+// Available reports how many frames can still be allocated.
+func (a *FrameAllocator) Available() int {
+	return int((a.limit-a.next)/PageSize) + len(a.free)
+}

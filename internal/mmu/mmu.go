@@ -1,0 +1,220 @@
+package mmu
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/mem"
+)
+
+// MMU binds the segmentation unit, the paging unit and the TLB into the
+// translation-and-check pipeline of Figure 1. One MMU is shared by the
+// CPU and the kernel of a simulated machine.
+type MMU struct {
+	Phys *mem.Physical
+	GDT  *Table
+	LDT  *Table // current process's LDT; may be nil
+
+	clock *cycles.Clock
+	model *cycles.Model
+
+	space *AddressSpace // current address space (CR3)
+	tlb   *TLB
+
+	// WriteProtect mirrors CR0.WP: when true, supervisor-level code
+	// (CPL 0-2) also honours page write protection. Palladium's
+	// read-only GOT needs protection only against CPL 3, but we model
+	// the full WP=1 behaviour of later Linux kernels; it is
+	// configurable for the ablation tests.
+	WriteProtect bool
+}
+
+// New returns an MMU over the given physical memory, charging
+// translation costs (TLB misses, flushes) to clock under model.
+func New(phys *mem.Physical, gdtSize int, clock *cycles.Clock, model *cycles.Model) *MMU {
+	return &MMU{
+		Phys:         phys,
+		GDT:          NewTable("gdt", gdtSize),
+		clock:        clock,
+		model:        model,
+		tlb:          NewTLB(),
+		WriteProtect: true,
+	}
+}
+
+// Model returns the active cost model.
+func (m *MMU) Model() *cycles.Model { return m.model }
+
+// Clock returns the shared cycle clock.
+func (m *MMU) Clock() *cycles.Clock { return m.clock }
+
+// TLB exposes the TLB (for tests and statistics).
+func (m *MMU) TLB() *TLB { return m.tlb }
+
+// Space returns the current address space.
+func (m *MMU) Space() *AddressSpace { return m.space }
+
+// LoadCR3 switches to a new address space and flushes the TLB, charging
+// the flush cost — this is the page-table switch penalty that
+// Palladium's intra-address-space design avoids and that the RPC
+// baseline pays on every context switch.
+func (m *MMU) LoadCR3(space *AddressSpace) {
+	m.space = space
+	m.tlb.Flush()
+	m.clock.Charge(m.model, cycles.TLBFlushBase)
+}
+
+// SetLDT installs the current process's local descriptor table.
+func (m *MMU) SetLDT(ldt *Table) { m.LDT = ldt }
+
+// InvalidatePage drops one page translation (after a permission
+// change) without a full flush.
+func (m *MMU) InvalidatePage(linear uint32) { m.tlb.Invalidate(linear &^ mem.PageMask) }
+
+// Descriptor resolves a selector to its descriptor. A nil return means
+// the selector is out of range for its table.
+func (m *MMU) Descriptor(sel Selector) *Descriptor {
+	if sel.IsLDT() {
+		if m.LDT == nil {
+			return nil
+		}
+		return m.LDT.Get(sel.Index())
+	}
+	return m.GDT.Get(sel.Index())
+}
+
+func fault(k FaultKind, sel Selector, off, linear uint32, acc Access, cpl int, reason string) *Fault {
+	return &Fault{Kind: k, Sel: sel, Off: off, Linear: linear, Access: acc, CPL: cpl, Reason: reason}
+}
+
+// CheckSegment performs the segment-level half of the access check and
+// returns the linear address on success. It is exposed separately so
+// the CPU can reuse it for control transfers (where the page-level
+// check happens on the subsequent fetch).
+func (m *MMU) CheckSegment(sel Selector, off, size uint32, acc Access, cpl int) (uint32, *Fault) {
+	if sel.IsNull() {
+		return 0, fault(GP, sel, off, 0, acc, cpl, "null selector")
+	}
+	d := m.Descriptor(sel)
+	if d == nil || d.Kind == SegNull {
+		return 0, fault(GP, sel, off, 0, acc, cpl, "no such descriptor")
+	}
+	if !d.Present {
+		return 0, fault(NP, sel, off, 0, acc, cpl, "segment not present")
+	}
+	switch acc {
+	case Execute:
+		if d.Kind != SegCode {
+			return 0, fault(GP, sel, off, 0, acc, cpl, "fetch from non-code segment")
+		}
+		// Non-conforming code executes only at exactly DPL == CPL;
+		// transfers that change CPL go through gates, which the CPU
+		// checks separately.
+		if !d.Conforming && cpl != d.DPL {
+			return 0, fault(GP, sel, off, 0, acc, cpl, "code segment DPL != CPL")
+		}
+	case Write:
+		if d.Kind != SegData {
+			return 0, fault(GP, sel, off, 0, acc, cpl, "write to non-data segment")
+		}
+		if !d.Writable {
+			return 0, fault(GP, sel, off, 0, acc, cpl, "segment not writable")
+		}
+		if max(cpl, sel.RPL()) > d.DPL {
+			return 0, fault(GP, sel, off, 0, acc, cpl, "privilege: data segment DPL below access level")
+		}
+	case Read:
+		if d.Kind == SegCode && !d.Readable {
+			return 0, fault(GP, sel, off, 0, acc, cpl, "code segment not readable")
+		}
+		if d.Kind == SegCallGate || d.Kind == SegIntGate || d.Kind == SegTSS {
+			return 0, fault(GP, sel, off, 0, acc, cpl, "data access through gate descriptor")
+		}
+		if d.Kind == SegData && max(cpl, sel.RPL()) > d.DPL {
+			return 0, fault(GP, sel, off, 0, acc, cpl, "privilege: data segment DPL below access level")
+		}
+	}
+	if !d.Contains(off, size) {
+		// This is the segment-limit check that confines Palladium's
+		// kernel extensions to their extension segment.
+		return 0, fault(GP, sel, off, 0, acc, cpl, "segment limit violation")
+	}
+	return d.Base + off, nil
+}
+
+// CheckPage performs the page-level half: translation through the TLB
+// or a charged two-level walk, then the PPL and write-permission
+// checks. It returns the physical address.
+func (m *MMU) CheckPage(linear uint32, acc Access, cpl int, sel Selector, off uint32) (uint32, *Fault) {
+	page := linear &^ uint32(mem.PageMask)
+	e, ok := m.tlb.lookup(page)
+	if !ok {
+		if m.space == nil {
+			return 0, fault(PF, sel, off, linear, acc, cpl, "no address space")
+		}
+		m.clock.Charge(m.model, cycles.TLBMiss)
+		leaf := m.space.Lookup(linear)
+		if !leaf.Present() {
+			return 0, fault(PF, sel, off, linear, acc, cpl, "page not present")
+		}
+		e = tlbEntry{frame: leaf.Frame(), writable: leaf.Writable(), user: leaf.User()}
+		m.tlb.insert(page, e)
+	}
+	// Page privilege check: CPL 3 cannot access PPL 0 (supervisor)
+	// pages — the core of Palladium's user-extension protection.
+	if cpl == 3 && !e.user {
+		return 0, fault(PF, sel, off, linear, acc, cpl, "page privilege violation (PPL 0 page at CPL 3)")
+	}
+	if acc == Write && !e.writable {
+		if cpl == 3 || m.WriteProtect {
+			return 0, fault(PF, sel, off, linear, acc, cpl, "write to read-only page")
+		}
+	}
+	return e.frame | (linear & mem.PageMask), nil
+}
+
+// Translate runs the full segment + page pipeline for an access of
+// `size` bytes at sel:off performed at privilege cpl.
+func (m *MMU) Translate(sel Selector, off, size uint32, acc Access, cpl int) (uint32, *Fault) {
+	linear, f := m.CheckSegment(sel, off, size, acc, cpl)
+	if f != nil {
+		return 0, f
+	}
+	return m.CheckPage(linear, acc, cpl, sel, off)
+}
+
+// Read32 translates and reads a 32-bit word.
+func (m *MMU) Read32(sel Selector, off uint32, cpl int) (uint32, *Fault) {
+	pa, f := m.Translate(sel, off, 4, Read, cpl)
+	if f != nil {
+		return 0, f
+	}
+	return m.Phys.Read32(pa), nil
+}
+
+// Write32 translates and writes a 32-bit word.
+func (m *MMU) Write32(sel Selector, off uint32, v uint32, cpl int) *Fault {
+	pa, f := m.Translate(sel, off, 4, Write, cpl)
+	if f != nil {
+		return f
+	}
+	m.Phys.Write32(pa, v)
+	return nil
+}
+
+// Read8 translates and reads one byte.
+func (m *MMU) Read8(sel Selector, off uint32, cpl int) (byte, *Fault) {
+	pa, f := m.Translate(sel, off, 1, Read, cpl)
+	if f != nil {
+		return 0, f
+	}
+	return m.Phys.Read8(pa), nil
+}
+
+// Write8 translates and writes one byte.
+func (m *MMU) Write8(sel Selector, off uint32, v byte, cpl int) *Fault {
+	pa, f := m.Translate(sel, off, 1, Write, cpl)
+	if f != nil {
+		return f
+	}
+	m.Phys.Write8(pa, v)
+	return nil
+}

@@ -1,0 +1,58 @@
+package mmu
+
+// tlbEntry caches one linear-page translation together with the leaf
+// permission bits consulted during the page-level check.
+type tlbEntry struct {
+	frame    uint32
+	writable bool
+	user     bool
+}
+
+// TLB is a translation lookaside buffer. As on the x86 (Figure 1), it
+// is flushed whenever CR3 is loaded, i.e. on every task switch; the
+// cost of refilling it afterwards is charged as TLBMiss page walks.
+type TLB struct {
+	entries map[uint32]tlbEntry
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+// NewTLB returns an empty TLB.
+func NewTLB() *TLB {
+	return &TLB{entries: make(map[uint32]tlbEntry)}
+}
+
+func (t *TLB) lookup(page uint32) (tlbEntry, bool) {
+	e, ok := t.entries[page]
+	if ok {
+		t.hits++
+	} else {
+		t.misses++
+	}
+	return e, ok
+}
+
+func (t *TLB) insert(page uint32, e tlbEntry) {
+	t.entries[page] = e
+}
+
+// Invalidate drops the entry for one page (the invlpg instruction);
+// used when the kernel changes a single mapping's permissions.
+func (t *TLB) Invalidate(page uint32) {
+	delete(t.entries, page)
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	clear(t.entries)
+	t.flushes++
+}
+
+// Stats reports hit/miss/flush counters.
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}
+
+// Len reports the number of live entries.
+func (t *TLB) Len() int { return len(t.entries) }

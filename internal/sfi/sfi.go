@@ -1,0 +1,171 @@
+// Package sfi implements the software-fault-isolation baseline of
+// Section 2.1 (Wahbe et al.): a binary rewriter that sandboxes an
+// extension's memory accesses by inserting address-masking sequences,
+// so that every guarded access lands inside the extension's dedicated
+// region regardless of what address the code computed.
+//
+// The characteristic trade-off reproduced here (and measured by the
+// SFI ablation benchmark) is that SFI's overhead is paid per guarded
+// instruction — proportional to the amount of extension code executed
+// — whereas Palladium's hardware checks cost nothing per instruction
+// and a fixed amount per domain crossing.
+package sfi
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Config describes the sandbox.
+type Config struct {
+	// DataBase/DataSize bound the writable region. DataSize must be a
+	// power of two and DataBase aligned to it, so masking is two ALU
+	// instructions.
+	DataBase uint32
+	DataSize uint32
+	// GuardReads extends sandboxing to loads (read-write protection);
+	// false guards only writes (write protection), the cheaper mode
+	// the paper mentions.
+	GuardReads bool
+	// ScratchReg is the dedicated register holding sandboxed
+	// addresses; the input program must not use it. EDI by default.
+	ScratchReg isa.Reg
+}
+
+// Overhead counts what the rewriter inserted.
+type Overhead struct {
+	GuardedAccesses int
+	InsertedInstrs  int
+	TotalInstrs     int
+}
+
+// Rewrite returns a sandboxed clone of obj. Every guarded memory
+// operand is replaced by an access through the scratch register, which
+// is forced into [DataBase, DataBase+DataSize) by an and/or pair:
+//
+//	lea  edi, [original operand]
+//	and  edi, DataSize-1
+//	or   edi, DataBase
+//	op   ..., [edi]
+//
+// Relocation indices are remapped to the shifted instruction stream.
+func Rewrite(obj *isa.Object, cfg Config) (*isa.Object, Overhead, error) {
+	var ov Overhead
+	if cfg.ScratchReg == 0 {
+		cfg.ScratchReg = isa.EDI
+	}
+	if cfg.DataSize == 0 || cfg.DataSize&(cfg.DataSize-1) != 0 {
+		return nil, ov, fmt.Errorf("sfi: region size %#x not a power of two", cfg.DataSize)
+	}
+	if cfg.DataBase&(cfg.DataSize-1) != 0 {
+		return nil, ov, fmt.Errorf("sfi: region base %#x not aligned to size", cfg.DataBase)
+	}
+	if err := checkScratchFree(obj, cfg.ScratchReg); err != nil {
+		return nil, ov, err
+	}
+
+	out := obj.Clone()
+	var text []isa.Instr
+	indexMap := make([]int, len(out.Text)) // old index -> new index
+	// relocMove maps (old index, old slot) adjustments for operands
+	// that migrate onto the inserted lea.
+	type slotKey struct {
+		idx  int
+		slot isa.RelocSlot
+	}
+	relocMove := make(map[slotKey]slotKey)
+
+	guard := func(op *isa.Operand, oldIdx int, oldSlot isa.RelocSlot) {
+		ov.GuardedAccesses++
+		ov.InsertedInstrs += 3
+		leaIdx := len(text)
+		text = append(text,
+			isa.Instr{Op: isa.LEA, Dst: isa.R(cfg.ScratchReg), Src: *op, Size: 4},
+			isa.Instr{Op: isa.AND, Dst: isa.R(cfg.ScratchReg), Src: isa.I(int32(cfg.DataSize - 1)), Size: 4},
+			isa.Instr{Op: isa.OR, Dst: isa.R(cfg.ScratchReg), Src: isa.I(int32(cfg.DataBase)), Size: 4},
+		)
+		relocMove[slotKey{oldIdx, oldSlot}] = slotKey{leaIdx, isa.RelSrcDisp}
+		*op = isa.M(cfg.ScratchReg, 0)
+	}
+
+	for i := range out.Text {
+		ins := out.Text[i]
+		// Stack-relative accesses are left alone: the stack pointer
+		// is kept in-region by the loader and guard pages, as in the
+		// original SFI design.
+		dstMem := ins.Dst.Kind == isa.KindMem && ins.Dst.Base != isa.ESP && ins.Dst.Base != isa.EBP
+		srcMem := ins.Src.Kind == isa.KindMem && ins.Src.Base != isa.ESP && ins.Src.Base != isa.EBP
+		writesDst := opWritesDst(ins.Op)
+		readsDst := opReadsDst(ins.Op)
+
+		if dstMem && (writesDst || (cfg.GuardReads && readsDst)) {
+			guard(&ins.Dst, i, isa.RelDstDisp)
+		}
+		if srcMem && cfg.GuardReads {
+			guard(&ins.Src, i, isa.RelSrcDisp)
+		}
+		indexMap[i] = len(text)
+		text = append(text, ins)
+	}
+	ov.TotalInstrs = len(text)
+
+	// Remap relocations and symbol offsets.
+	for ri := range out.Relocs {
+		r := &out.Relocs[ri]
+		if r.Slot == isa.RelData {
+			continue
+		}
+		if mv, ok := relocMove[slotKey{r.Index, r.Slot}]; ok {
+			r.Index, r.Slot = mv.idx, mv.slot
+			continue
+		}
+		r.Index = indexMap[r.Index]
+	}
+	for _, s := range out.Symbols {
+		if s.Section == isa.SecText {
+			s.Off = uint32(indexMap[s.Off/isa.InstrSlot]) * isa.InstrSlot
+		}
+	}
+	// Branch targets: intra-object branches are symbol-relocated, so
+	// the remapped symbol offsets cover them (the assembler emits
+	// relocs for all label references).
+	out.Text = text
+	return out, ov, nil
+}
+
+func checkScratchFree(obj *isa.Object, r isa.Reg) error {
+	uses := func(o isa.Operand) bool {
+		return (o.Kind == isa.KindReg && o.Reg == r) ||
+			(o.Kind == isa.KindMem && (o.Base == r || o.Index == r))
+	}
+	for i, ins := range obj.Text {
+		if uses(ins.Dst) || uses(ins.Src) {
+			return fmt.Errorf("sfi: instruction %d (%v) uses the dedicated register %v", i, ins, r)
+		}
+	}
+	return nil
+}
+
+// opWritesDst reports whether the opcode writes its destination
+// operand.
+func opWritesDst(op isa.Op) bool {
+	switch op {
+	case isa.MOV, isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.INC, isa.DEC, isa.NEG, isa.NOT, isa.SHL, isa.SHR, isa.SAR,
+		isa.XCHG, isa.POP:
+		return true
+	}
+	return false
+}
+
+// opReadsDst reports whether the opcode reads its destination operand.
+func opReadsDst(op isa.Op) bool {
+	switch op {
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.CMP, isa.TEST,
+		isa.INC, isa.DEC, isa.NEG, isa.NOT, isa.SHL, isa.SHR, isa.SAR,
+		isa.XCHG, isa.PUSH:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+// Package webserver implements the LibCGI application of Section 5.2:
+// an Apache-style web server whose CGI scripts can be executed under
+// four models — classic CGI (fork+exec per request), FastCGI
+// (persistent CGI process reached over a local socket), LibCGI
+// (the script as an in-process function call), and protected LibCGI
+// (the script as a Palladium user-level extension). Table 3 compares
+// their throughput against serving the static file directly.
+//
+// The trusted server core is Go code charging calibrated path costs;
+// the LibCGI script itself is a real simulated extension invoked
+// through the genuine Palladium (or plain call) machinery, so the
+// protected-vs-unprotected difference is produced by the mechanism,
+// not by a constant.
+package webserver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// Model selects the request execution model.
+type Model int
+
+const (
+	// Static serves the file directly from the server (the Table 3
+	// "Web Server" bound: no CGI invocation at all).
+	Static Model = iota
+	// CGI forks and execs a fresh script process per request.
+	CGI
+	// FastCGI keeps a persistent script process and talks to it over
+	// a local socket.
+	FastCGI
+	// LibCGI calls the script as an unprotected in-process function.
+	LibCGI
+	// LibCGIProtected calls the script as a Palladium user-level
+	// extension.
+	LibCGIProtected
+)
+
+func (m Model) String() string {
+	switch m {
+	case Static:
+		return "Web Server"
+	case CGI:
+		return "CGI"
+	case FastCGI:
+		return "FastCGI"
+	case LibCGI:
+		return "LibCGI (unprotected)"
+	case LibCGIProtected:
+		return "LibCGI (protected)"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Costs holds the server path constants (cycles), calibrated against
+// Table 3 on the 200 MHz testbed; EXPERIMENTS.md records the anchors.
+type Costs struct {
+	// BaseRequest is the per-request HTTP path: accept, parse,
+	// logging, socket writes (excluding per-byte file costs).
+	BaseRequest float64
+	// PerByte covers reading the memory-resident file and writing it
+	// to the socket, per response byte.
+	PerByte float64
+	// CGIEnv is the in-process CGI environment setup LibCGI performs.
+	CGIEnv float64
+	// CGIProcessExtra is classic CGI's per-request cost beyond the
+	// charged fork+exec: pipe setup, wait4, scheduler latency, ld.so
+	// start-up of the script binary, process teardown.
+	CGIProcessExtra float64
+	// FastCGIRoundTrip is the persistent-process model's per-request
+	// cost: two local-socket messages with context switches plus
+	// FastCGI protocol framing and the mod_fastcgi server side.
+	FastCGIRoundTrip float64
+	// EnvBytes is the CGI meta-variable block staged into the shared
+	// data area per protected request.
+	EnvBytes int
+}
+
+// DefaultCosts returns the Table-3 calibration.
+func DefaultCosts() Costs {
+	return Costs{
+		BaseRequest:      433_941,
+		PerByte:          30.03,
+		CGIEnv:           11_400,
+		CGIProcessExtra:  1_206_000,
+		FastCGIRoundTrip: 601_000,
+		EnvBytes:         700,
+	}
+}
+
+// scriptSrc is the LibCGI script: it reads the request word the
+// server staged, writes an HTTP status and the response length into
+// the shared area, and returns the status. The file body itself is
+// streamed by the server (charged per byte), exactly as the paper's
+// script "does exactly the same thing" as the static path.
+const scriptSrc = `
+	.global cgi_script
+	.text
+	cgi_script:
+		mov eax, [esp+4]      ; shared area address
+		mov ecx, [eax]        ; request: file length
+		mov [eax+4], 200      ; response: status
+		mov [eax+8], ecx      ; response: content length
+		mov eax, 200
+		ret
+`
+
+// Server is the extensible web server.
+type Server struct {
+	S     *core.System
+	Costs Costs
+	// FileSize is the size of the requested memory-resident file.
+	FileSize uint32
+	// NetBandwidthMbps is the client link (100 Mbps quiescent Fast
+	// Ethernet in the paper's setup).
+	NetBandwidthMbps float64
+
+	app       *core.App
+	script    *core.ProtectedFunc
+	scriptRaw uint32 // unprotected entry address
+	shared    uint32
+	cgiProc   *kernel.Process
+}
+
+// New builds the server and loads the LibCGI script both as a
+// protected extension and as a plain function.
+func New(s *core.System, fileSize uint32) (*Server, error) {
+	srv := &Server{
+		S: s, Costs: DefaultCosts(), FileSize: fileSize,
+		NetBandwidthMbps: 100,
+	}
+	app, err := core.NewApp(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := app.InitPL(); err != nil {
+		return nil, err
+	}
+	srv.app = app
+	h, err := app.SegDlopen(isa.MustAssemble("cgiscript", scriptSrc))
+	if err != nil {
+		return nil, err
+	}
+	if srv.script, err = app.SegDlsym(h, "cgi_script"); err != nil {
+		return nil, err
+	}
+	if srv.scriptRaw, err = app.Dlsym(h, "cgi_script"); err != nil {
+		return nil, err
+	}
+	if srv.shared, err = app.SharedAlloc(mem.PageSize); err != nil {
+		return nil, err
+	}
+	// A helper process standing in for forked CGI children.
+	if srv.cgiProc, err = s.K.CreateProcess(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// App exposes the underlying extensible application (tests and
+// examples inspect it).
+func (srv *Server) App() *core.App { return srv.app }
+
+// ServeRequest executes one request under the given model, charging
+// all costs to the system clock, and returns the HTTP status.
+func (srv *Server) ServeRequest(m Model) (int, error) {
+	k := srv.S.K
+	c := srv.Costs
+	k.Clock.Add(c.BaseRequest + c.PerByte*float64(srv.FileSize))
+	switch m {
+	case Static:
+		return 200, nil
+
+	case CGI:
+		// Fresh process per request: real fork + exec costs plus the
+		// modeled pipe/wait/teardown path.
+		child, err := k.Fork(srv.cgiProc)
+		if err != nil {
+			return 0, err
+		}
+		if err := k.Exec(child); err != nil {
+			return 0, err
+		}
+		k.Clock.Add(c.CGIEnv + c.CGIProcessExtra)
+		k.Exit(child, 0)
+		return 200, nil
+
+	case FastCGI:
+		k.Clock.Add(c.CGIEnv + c.FastCGIRoundTrip)
+		return 200, nil
+
+	case LibCGI:
+		k.Clock.Add(c.CGIEnv)
+		// Request passed by pointer: no staging copies needed.
+		if err := srv.app.WriteMem(srv.shared, leWord(srv.FileSize)); err != nil {
+			return 0, err
+		}
+		status, err := srv.app.CallUnprotected(srv.scriptRaw, srv.shared)
+		if err != nil {
+			return 0, err
+		}
+		return int(status), nil
+
+	case LibCGIProtected:
+		k.Clock.Add(c.CGIEnv)
+		// Stage the CGI meta-variables into the shared area and
+		// expose it for the duration of the call, then hide it again
+		// — the per-request PPL marking and copying that Section
+		// 4.4.1 warns about ("may also lead to additional data
+		// copying unless the shared data is carefully placed").
+		env := make([]byte, c.EnvBytes)
+		copy(env, leWord(srv.FileSize))
+		if err := srv.app.WriteMem(srv.shared, env); err != nil {
+			return 0, err
+		}
+		if err := k.SetRange(srv.app.P, srv.shared, 1, true); err != nil {
+			return 0, err
+		}
+		status, err := srv.script.Call(srv.shared)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := srv.app.ReadMem(srv.shared+4, 8); err != nil { // response meta
+			return 0, err
+		}
+		if err := k.SetRange(srv.app.P, srv.shared, 1, false); err != nil {
+			return 0, err
+		}
+		return int(status), nil
+	}
+	return 0, fmt.Errorf("webserver: unknown model %v", m)
+}
+
+func leWord(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+// Throughput serves n requests under the model and returns the
+// sustained request rate in requests/second: the CPU-bound rate capped
+// by the 100 Mbps client link (response body plus ~350 bytes of HTTP
+// framing per request).
+func (srv *Server) Throughput(m Model, n int) (float64, error) {
+	k := srv.S.K
+	start := k.Clock.Cycles()
+	for i := 0; i < n; i++ {
+		if _, err := srv.ServeRequest(m); err != nil {
+			return 0, err
+		}
+	}
+	cyc := k.Clock.Cycles() - start
+	secs := k.Clock.Micros(cyc) / 1e6 / float64(n)
+	cpuRate := 1 / secs
+	wireBytes := float64(srv.FileSize) + 350
+	netRate := srv.NetBandwidthMbps * 1e6 / 8 / wireBytes
+	if netRate < cpuRate {
+		return netRate, nil
+	}
+	return cpuRate, nil
+}
