@@ -9,6 +9,7 @@
 //	palladium-bench -figure 7      # Figure 7 only
 //	palladium-bench -micro         # Section 5.1 micro-measurements
 //	palladium-bench -ablation      # design-choice ablations
+//	palladium-bench -interp        # interpreter block-cache/TLB counters
 package main
 
 import (
@@ -24,10 +25,12 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate only this figure (7)")
 	micro := flag.Bool("micro", false, "regenerate only the section 5.1 micro-measurements")
 	ablation := flag.Bool("ablation", false, "regenerate only the design ablations")
+	interp := flag.Bool("interp", false, "report interpreter block-cache and TLB counters")
 	requests := flag.Int("requests", 100, "requests per Table 3 cell")
+	calls := flag.Int("calls", 1000, "protected calls for the -interp workload")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*micro && !*ablation
+	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "palladium-bench:", err)
 		os.Exit(1)
@@ -83,5 +86,12 @@ func main() {
 			fail(err)
 		}
 		experiments.RenderAblations(os.Stdout, sfiPts, cc)
+	}
+	if *interp {
+		st, err := experiments.MeasureInterp(*calls)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderInterp(os.Stdout, st, *calls)
 	}
 }

@@ -1,0 +1,176 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// The decoded-block cache removes the per-instruction map lookups and
+// segment walks from Run's hot loop. A block is a straight-line run of
+// predecoded instructions starting at a linear EIP; the segment-level
+// fetch checks (code-segment type, DPL, limit) are performed once at
+// build time and revalidated wholesale through cache invalidation,
+// while the page-level check — the one with architecturally visible
+// side effects (TLB hit/miss statistics, page-walk cycle charges,
+// page-privilege faults) — still runs per executed instruction, so
+// cycle and TLB accounting is bit-for-bit what the uncached
+// interpreter produced.
+//
+// Invalidation:
+//   - CR3 loads, single-page invalidations, LDT switches and GDT/LDT
+//     descriptor mutations advance mmu.TransGen, which is part of every
+//     block's tag (gen), killing all blocks at once.
+//   - SetBreak/ClearBreak and RegisterService/UnregisterService
+//     invalidate exactly the cached blocks whose linear range covers
+//     the armed address (breakpoints and trusted endpoints must be
+//     honoured mid-run by the very next instruction).
+//   - InstallCode/RemoveCode invalidate the blocks whose decoded
+//     instructions came from any touched physical page, matched through
+//     a per-block page bloom filter (false positives only cost a
+//     rebuild).
+const (
+	// blockCacheSize is the number of direct-mapped block slots.
+	blockCacheSize = 2048
+	// maxBlockLen caps the instructions decoded per block.
+	maxBlockLen = 128
+)
+
+// blockSlot is one predecoded instruction of a cached block.
+type blockSlot struct {
+	ins *isa.Instr
+	eip uint32 // segment-relative address of the fetch
+	lin uint32 // linear address of the fetch
+	pa  uint32 // physical address the decode came from
+}
+
+// codeBlock is a cached straight-line run. end is the linear address
+// one past the last slot, for break/service range invalidation.
+type codeBlock struct {
+	lin   uint32
+	end   uint32
+	cs    mmu.Selector
+	gen   uint64 // mmu.TransGen at build time
+	pages uint64 // bloom over the physical pages the decode read
+	slots []blockSlot
+}
+
+// pageBloomBit maps a physical address to its bloom bit.
+func pageBloomBit(pa uint32) uint64 {
+	return 1 << ((pa >> mem.PageShift) & 63)
+}
+
+func blockIndex(lin uint32) uint32 {
+	return (lin / isa.InstrSlot) & (blockCacheSize - 1)
+}
+
+// lookupBlock returns the cached block starting at lin under the
+// current code segment and translation generation, or nil.
+func (m *Machine) lookupBlock(lin uint32, gen uint64) *codeBlock {
+	b := m.blocks[blockIndex(lin)]
+	if b != nil && b.lin == lin && b.cs == m.CS && b.gen == gen {
+		m.bcHits++
+		return b
+	}
+	return nil
+}
+
+// buildBlock decodes a straight-line run starting at CS:EIP (whose
+// linear address is lin) and caches it. It performs no charged or
+// counted work: segment checks are free in the cycle model, and page
+// translation uses MMU.PeekPage, so the charged, counted page check
+// still happens on every execution. Returns nil when not even the
+// first instruction is fetchable here — the caller then takes the
+// uncached path, which raises the appropriate fault with the
+// appropriate charges.
+func (m *Machine) buildBlock(lin uint32, gen uint64) *codeBlock {
+	cpl := m.CPL()
+	b := &codeBlock{lin: lin, cs: m.CS, gen: gen}
+	eip := m.EIP
+	for len(b.slots) < maxBlockLen {
+		flin, f := m.MMU.CheckSegment(m.CS, eip, isa.InstrSlot, mmu.Execute, cpl)
+		if f != nil {
+			break
+		}
+		// A block interior must be free of breakpoints and service
+		// endpoints: Run dispatches those only at block entry. (The
+		// entry address itself was just checked by Run.)
+		if len(b.slots) > 0 && (m.breaks[flin] || m.services[flin] != nil) {
+			break
+		}
+		pa, ok := m.MMU.PeekPage(flin)
+		if !ok {
+			break
+		}
+		ins := m.code[pa]
+		if ins == nil {
+			break
+		}
+		b.slots = append(b.slots, blockSlot{ins: ins, eip: eip, lin: flin, pa: pa})
+		b.pages |= pageBloomBit(pa)
+		if ins.Op.TransfersControl() {
+			break
+		}
+		eip += isa.InstrSlot
+	}
+	if len(b.slots) == 0 {
+		return nil
+	}
+	b.end = b.slots[len(b.slots)-1].lin + isa.InstrSlot
+	m.bcBuilds++
+	idx := blockIndex(lin)
+	if m.blocks[idx] == nil {
+		m.liveBlocks++
+	}
+	// Maintain the conservative [blockMin, blockMax) envelope over all
+	// live blocks so address-keyed invalidation can reject misses in
+	// O(1). It only grows (evictions leave it wide); it re-anchors
+	// whenever the cache refills from empty.
+	if m.liveBlocks == 1 && m.blocks[idx] == nil {
+		// First live block after an empty cache: anchor the envelope.
+		m.blockMin, m.blockMax = b.lin, b.end
+	} else {
+		m.blockMin = min(m.blockMin, b.lin)
+		m.blockMax = max(m.blockMax, b.end)
+	}
+	m.blocks[idx] = b
+	return b
+}
+
+// invalidateBlocksAt drops every cached block whose linear range
+// covers lin; used when a breakpoint or service endpoint is armed or
+// disarmed at that address.
+func (m *Machine) invalidateBlocksAt(lin uint32) {
+	if m.liveBlocks == 0 || lin < m.blockMin || lin >= m.blockMax {
+		return
+	}
+	for i, b := range &m.blocks {
+		if b != nil && b.lin <= lin && lin < b.end {
+			m.blocks[i] = nil
+			m.liveBlocks--
+			m.bcInvalidations++
+		}
+	}
+}
+
+// invalidateBlocksByPages drops every cached block that may have
+// decoded instructions from a physical page in the bloom set; used
+// when code is installed or removed.
+func (m *Machine) invalidateBlocksByPages(pages uint64) {
+	if m.liveBlocks == 0 {
+		return
+	}
+	for i, b := range &m.blocks {
+		if b != nil && b.pages&pages != 0 {
+			m.blocks[i] = nil
+			m.liveBlocks--
+			m.bcInvalidations++
+		}
+	}
+}
+
+// BlockCacheStats reports decoded-block cache counters: cached-block
+// executions, block builds, and explicit invalidations.
+func (m *Machine) BlockCacheStats() (hits, builds, invalidations uint64) {
+	return m.bcHits, m.bcBuilds, m.bcInvalidations
+}

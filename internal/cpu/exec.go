@@ -16,7 +16,13 @@ type RunLimits struct {
 	MaxInstructions uint64
 }
 
-// Run executes instructions until a stop condition occurs.
+// Run executes instructions until a stop condition occurs. The hot
+// loop executes through the decoded-block cache: breakpoints, service
+// endpoints and block decode are resolved once per straight-line run
+// instead of once per instruction, while the per-instruction
+// architectural events (timer ticks, page-level fetch checks with
+// their TLB statistics and page-walk charges, faults mid-block) happen
+// exactly as they would stepping uncached.
 func (m *Machine) Run(lim RunLimits) RunResult {
 	var res RunResult
 	for {
@@ -24,52 +30,162 @@ func (m *Machine) Run(lim RunLimits) RunResult {
 			res.Reason = StopBudget
 			return res
 		}
-		stop, done := m.Step()
-		if stop != nil {
-			stop.Instructions += res.Instructions
-			return *stop
+		lin := m.linearEIP()
+		if len(m.breaks) != 0 && m.breaks[lin] {
+			res.Reason = StopBreak
+			return res
 		}
-		if done {
-			res.Instructions++
+		if svc := m.services[lin]; svc != nil {
+			if stop := serviceStop(m.runService(svc)); stop != nil {
+				stop.Instructions = res.Instructions
+				return *stop
+			}
+			continue
+		}
+		gen := m.MMU.TransGen()
+		b := m.lookupBlock(lin, gen)
+		if b == nil {
+			b = m.buildBlock(lin, gen)
+		}
+		if b == nil {
+			// Nothing fetchable or decodable here: take the uncached
+			// path, which raises the right fault with the right
+			// charges.
+			if stop, _ := m.tickCheck(); stop != nil {
+				stop.Instructions += res.Instructions
+				return *stop
+			}
+			stop, done := m.fetchExec()
+			if stop != nil {
+				stop.Instructions += res.Instructions
+				return *stop
+			}
+			if done {
+				res.Instructions++
+			}
+			continue
+		}
+		var remaining uint64
+		if lim.MaxInstructions > 0 {
+			remaining = lim.MaxInstructions - res.Instructions
+		}
+		stop, n := m.runBlock(b, remaining)
+		res.Instructions += n
+		if stop != nil {
+			stop.Instructions = res.Instructions
+			return *stop
 		}
 	}
 }
 
-// Step executes at most one instruction (or one trusted service call).
-// It returns a non-nil stop result when the run must end, and reports
-// whether an instruction was retired.
+// runBlock executes the instructions of a cached block, stopping early
+// at the remaining instruction budget (0 = unlimited), a timer-hook
+// error, a fault, or HLT. It returns the retired-instruction count and
+// a stop result whose Instructions field the caller owns.
+func (m *Machine) runBlock(b *codeBlock, remaining uint64) (*RunResult, uint64) {
+	cpl := m.CPL()
+	var n uint64
+	for i := range b.slots {
+		if remaining > 0 && n >= remaining {
+			// Budget exhausted; Run's top-of-loop check reports it.
+			return nil, n
+		}
+		slot := &b.slots[i]
+		stop, ticked := m.tickCheck()
+		if stop != nil {
+			return stop, n
+		}
+		if ticked && (m.EIP != slot.eip || m.CS != b.cs ||
+			m.blocks[blockIndex(b.lin)] != b || b.gen != m.MMU.TransGen()) {
+			// The tick handler redirected execution or invalidated
+			// cached state; finish this step uncached and let Run
+			// re-dispatch from live state.
+			stop, done := m.fetchExec()
+			if done {
+				n++
+			}
+			return stop, n
+		}
+		// Page-level fetch check: counted against the TLB and charged
+		// on a miss exactly as the uncached fetch would be, and the
+		// page-privilege faults are raised mid-block as on hardware.
+		pa, f := m.MMU.CheckPage(slot.lin, mmu.Execute, cpl, b.cs, slot.eip)
+		if f != nil {
+			return &RunResult{Reason: StopFault, Fault: f, Err: f}, n
+		}
+		ins := slot.ins
+		if pa != slot.pa {
+			// The mapping changed under the block (e.g. a PTE store
+			// with no invlpg, honoured lazily as on hardware):
+			// execute what the live translation holds.
+			if ins = m.code[pa]; ins == nil {
+				f := &mmu.Fault{Kind: mmu.UD, Sel: b.cs, Off: slot.eip, Linear: slot.lin,
+					Access: mmu.Execute, CPL: cpl, Reason: "no instruction at address"}
+				return &RunResult{Reason: StopFault, Fault: f, Err: f}, n
+			}
+		}
+		if f := m.execute(ins); f != nil {
+			return &RunResult{Reason: StopFault, Fault: f, Err: f}, n
+		}
+		m.instret++
+		n++
+		if m.haltFlag {
+			return &RunResult{Reason: StopHalt}, n
+		}
+		if ins != slot.ins && m.EIP != slot.eip+isa.InstrSlot {
+			// A substituted instruction transferred control; the rest
+			// of the cached run no longer follows. Re-dispatch from
+			// live state.
+			return nil, n
+		}
+	}
+	return nil, n
+}
+
+// Step executes at most one instruction (or one trusted service call)
+// without consulting the block cache. It returns a non-nil stop result
+// when the run must end, and reports whether an instruction was
+// retired.
 func (m *Machine) Step() (*RunResult, bool) {
 	lin := m.linearEIP()
 	if m.breaks[lin] {
 		return &RunResult{Reason: StopBreak}, false
 	}
 	if svc := m.services[lin]; svc != nil {
-		if err := m.runService(svc); err != nil {
-			if f, ok := err.(*mmu.Fault); ok {
-				return &RunResult{Reason: StopFault, Fault: f, Err: f}, false
-			}
-			return &RunResult{Reason: StopError, Err: err}, false
-		}
-		return nil, false
+		return serviceStop(m.runService(svc)), false
 	}
 
 	// Timer tick (the kernel's extension CPU-time limit).
-	if m.OnTick != nil && m.TickCycles > 0 && m.Clock.Cycles() >= m.nextTick {
-		m.nextTick = m.Clock.Cycles() + m.TickCycles
-		if err := m.OnTick(m); err != nil {
-			return &RunResult{Reason: StopError, Err: err}, false
-		}
+	if stop, _ := m.tickCheck(); stop != nil {
+		return stop, false
 	}
+	return m.fetchExec()
+}
 
-	// Fetch through the MMU: segment limit, code-segment DPL and page
-	// privilege all checked here.
+// serviceStop classifies a service-handler outcome into a stop result
+// (nil when the service completed normally); shared by Run and Step so
+// their dispatch cannot diverge.
+func serviceStop(err error) *RunResult {
+	if err == nil {
+		return nil
+	}
+	if f, ok := err.(*mmu.Fault); ok {
+		return &RunResult{Reason: StopFault, Fault: f, Err: f}
+	}
+	return &RunResult{Reason: StopError, Err: err}
+}
+
+// fetchExec is the uncached fetch-and-execute tail shared by Step and
+// Run's fallback path: full segment+page translation, decoded-code
+// lookup, execution, and instruction retirement.
+func (m *Machine) fetchExec() (*RunResult, bool) {
 	pa, f := m.MMU.Translate(m.CS, m.EIP, isa.InstrSlot, mmu.Execute, m.CPL())
 	if f != nil {
 		return &RunResult{Reason: StopFault, Fault: f, Err: f}, false
 	}
 	ins := m.code[pa]
 	if ins == nil {
-		f := &mmu.Fault{Kind: mmu.UD, Sel: m.CS, Off: m.EIP, Linear: lin, Access: mmu.Execute,
+		f := &mmu.Fault{Kind: mmu.UD, Sel: m.CS, Off: m.EIP, Linear: m.linearEIP(), Access: mmu.Execute,
 			CPL: m.CPL(), Reason: "no instruction at address"}
 		return &RunResult{Reason: StopFault, Fault: f, Err: f}, false
 	}
@@ -79,6 +195,29 @@ func (m *Machine) Step() (*RunResult, bool) {
 	m.instret++
 	if m.halted() {
 		return &RunResult{Reason: StopHalt, Instructions: 1}, true
+	}
+	return nil, true
+}
+
+// tickCheck fires the timer hook when the clock has reached the next
+// tick deadline, reporting whether the hook ran. The first deadline is
+// armed lazily, one full TickCycles period after ticking is first
+// observed enabled, so the hook does not fire before any simulated
+// time has elapsed.
+func (m *Machine) tickCheck() (*RunResult, bool) {
+	if m.OnTick == nil || m.TickCycles <= 0 {
+		return nil, false
+	}
+	if m.nextTick == 0 {
+		m.nextTick = m.Clock.Cycles() + m.TickCycles
+		return nil, false
+	}
+	if m.Clock.Cycles() < m.nextTick {
+		return nil, false
+	}
+	m.nextTick = m.Clock.Cycles() + m.TickCycles
+	if err := m.OnTick(m); err != nil {
+		return &RunResult{Reason: StopError, Err: err}, true
 	}
 	return nil, true
 }

@@ -129,6 +129,16 @@ type Machine struct {
 
 	instret  uint64 // lifetime instruction counter
 	haltFlag bool
+
+	// Decoded-block cache (see blockcache.go): direct-mapped by
+	// linear start address, tagged with the code segment and the
+	// MMU's translation generation.
+	blocks             [blockCacheSize]*codeBlock
+	liveBlocks         int
+	blockMin, blockMax uint32 // linear envelope over live blocks
+	bcHits             uint64
+	bcBuilds           uint64
+	bcInvalidations    uint64
 }
 
 // ClearHalt re-arms the machine after a HLT.
@@ -212,18 +222,25 @@ func (m *Machine) SetReg(r isa.Reg, v uint32) { m.Regs[r] = v }
 // address (one per 4-byte slot) and stamps a recognizable marker byte
 // into physical memory so data reads of code see something.
 func (m *Machine) InstallCode(pa uint32, text []isa.Instr) {
+	var pages uint64
 	for i := range text {
 		addr := pa + uint32(i)*isa.InstrSlot
 		m.code[addr] = &text[i]
 		m.Phys.Write8(addr, byte(text[i].Op))
+		pages |= pageBloomBit(addr)
 	}
+	m.invalidateBlocksByPages(pages)
 }
 
 // RemoveCode drops n instruction slots starting at pa.
 func (m *Machine) RemoveCode(pa uint32, n int) {
+	var pages uint64
 	for i := 0; i < n; i++ {
-		delete(m.code, pa+uint32(i)*isa.InstrSlot)
+		addr := pa + uint32(i)*isa.InstrSlot
+		delete(m.code, addr)
+		pages |= pageBloomBit(addr)
 	}
+	m.invalidateBlocksByPages(pages)
 }
 
 // CodeAt returns the instruction installed at physical address pa.
@@ -232,18 +249,26 @@ func (m *Machine) CodeAt(pa uint32) *isa.Instr { return m.code[pa] }
 // RegisterService installs a trusted endpoint at a linear address.
 func (m *Machine) RegisterService(linear uint32, s *Service) {
 	m.services[linear] = s
+	m.invalidateBlocksAt(linear)
 }
 
 // UnregisterService removes the endpoint at a linear address.
 func (m *Machine) UnregisterService(linear uint32) {
 	delete(m.services, linear)
+	m.invalidateBlocksAt(linear)
 }
 
 // SetBreak arms a breakpoint at a linear address.
-func (m *Machine) SetBreak(linear uint32) { m.breaks[linear] = true }
+func (m *Machine) SetBreak(linear uint32) {
+	m.breaks[linear] = true
+	m.invalidateBlocksAt(linear)
+}
 
 // ClearBreak removes a breakpoint.
-func (m *Machine) ClearBreak(linear uint32) { delete(m.breaks, linear) }
+func (m *Machine) ClearBreak(linear uint32) {
+	delete(m.breaks, linear)
+	m.invalidateBlocksAt(linear)
+}
 
 // Instructions returns the lifetime retired-instruction count.
 func (m *Machine) Instructions() uint64 { return m.instret }

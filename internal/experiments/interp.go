@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cycles"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// InterpStats reports the simulator-internal performance counters
+// accumulated over a fixed workload: how hard the interpreter's
+// decoded-block cache and the MMU's TLB worked. These are simulator
+// engineering numbers (they decide how fast the reproduction runs),
+// not paper results (which are simulated cycles and unaffected by
+// either cache).
+type InterpStats struct {
+	Instructions  uint64
+	SimCycles     float64
+	BlockHits     uint64
+	BlockBuilds   uint64
+	BlockInvalids uint64
+	TLBHits       uint64
+	TLBMisses     uint64
+	TLBFlushes    uint64
+}
+
+// MeasureInterp runs the Table 2 string-reverse extension `calls`
+// times through a protected call and returns the interpreter counters
+// for the whole run (boot and loading included).
+func MeasureInterp(calls int) (InterpStats, error) {
+	var st InterpStats
+	s, err := newSystem(cycles.Measured())
+	if err != nil {
+		return st, err
+	}
+	a, err := newApp(s)
+	if err != nil {
+		return st, err
+	}
+	h, err := a.SegDlopen(isa.MustAssemble("strrev", StrrevSrc))
+	if err != nil {
+		return st, err
+	}
+	pf, err := a.SegDlsym(h, "strrev")
+	if err != nil {
+		return st, err
+	}
+	buf, err := a.SharedAlloc(mem.PageSize)
+	if err != nil {
+		return st, err
+	}
+	if err := a.WriteString(buf, "palladium-interpreter-workload"); err != nil {
+		return st, err
+	}
+	for i := 0; i < calls; i++ {
+		if _, err := pf.Call(buf); err != nil {
+			return st, err
+		}
+	}
+	m := s.K.Machine
+	st.Instructions = m.Instructions()
+	st.SimCycles = s.Clock().Cycles()
+	st.BlockHits, st.BlockBuilds, st.BlockInvalids = m.BlockCacheStats()
+	st.TLBHits, st.TLBMisses, st.TLBFlushes = s.K.MMU.TLB().Stats()
+	return st, nil
+}
+
+// RenderInterp prints the counters in a compact table.
+func RenderInterp(w io.Writer, st InterpStats, calls int) {
+	fmt.Fprintf(w, "Interpreter counters (%d protected string-reverse calls)\n", calls)
+	fmt.Fprintf(w, "  instructions retired   %12d\n", st.Instructions)
+	fmt.Fprintf(w, "  simulated cycles       %12.0f\n", st.SimCycles)
+	fmt.Fprintf(w, "  block-cache hits       %12d\n", st.BlockHits)
+	fmt.Fprintf(w, "  block-cache builds     %12d\n", st.BlockBuilds)
+	fmt.Fprintf(w, "  block-cache invalids   %12d\n", st.BlockInvalids)
+	fmt.Fprintf(w, "  TLB hits               %12d\n", st.TLBHits)
+	fmt.Fprintf(w, "  TLB misses             %12d\n", st.TLBMisses)
+	fmt.Fprintf(w, "  TLB flushes            %12d\n", st.TLBFlushes)
+}

@@ -125,6 +125,19 @@ func (o Op) String() string {
 // IsBranch reports whether the opcode is a conditional branch.
 func (o Op) IsBranch() bool { return o >= JE && o <= JNS }
 
+// TransfersControl reports whether executing the opcode can set EIP to
+// anything other than the next instruction slot (or stop the machine):
+// jumps, conditional branches, calls, returns, gate transfers and HLT.
+// Such an instruction ends a straight-line run in the CPU's
+// decoded-block cache.
+func (o Op) TransfersControl() bool {
+	switch o {
+	case JMP, CALL, RET, LCALL, LRET, INT, IRET, HLT:
+		return true
+	}
+	return o.IsBranch()
+}
+
 // OperandKind distinguishes operand classes.
 type OperandKind uint8
 

@@ -19,22 +19,42 @@ const PageShift = 12
 // PageMask masks the offset within a page.
 const PageMask = PageSize - 1
 
+const (
+	// The 20-bit physical frame number is split into a root index and
+	// a chunk index; chunks are allocated lazily, so sparse use of the
+	// 4 GB physical space stays cheap while every access is two
+	// indexed loads instead of a map probe — this sits under every
+	// simulated load, store and page-table walk.
+	physChunkBits = 10
+	physChunkSize = 1 << physChunkBits
+	physRootSize  = 1 << (32 - PageShift - physChunkBits)
+)
+
+type physChunk [physChunkSize]*[PageSize]byte
+
 // Physical is a sparse physical memory.
 type Physical struct {
-	frames map[uint32]*[PageSize]byte
+	root    [physRootSize]*physChunk
+	touched int
 }
 
 // NewPhysical returns an empty physical memory.
 func NewPhysical() *Physical {
-	return &Physical{frames: make(map[uint32]*[PageSize]byte)}
+	return &Physical{}
 }
 
 func (p *Physical) frame(pa uint32) *[PageSize]byte {
 	fn := pa >> PageShift
-	f := p.frames[fn]
+	c := p.root[fn>>physChunkBits]
+	if c == nil {
+		c = new(physChunk)
+		p.root[fn>>physChunkBits] = c
+	}
+	f := c[fn&(physChunkSize-1)]
 	if f == nil {
 		f = new([PageSize]byte)
-		p.frames[fn] = f
+		c[fn&(physChunkSize-1)] = f
+		p.touched++
 	}
 	return f
 }
@@ -92,28 +112,42 @@ func (p *Physical) Write16(pa uint32, v uint16) {
 // ReadBytes copies n bytes starting at pa into a new slice.
 func (p *Physical) ReadBytes(pa uint32, n int) []byte {
 	b := make([]byte, n)
-	for i := range b {
-		b[i] = p.Read8(pa + uint32(i))
+	copied := 0
+	for copied < n {
+		f := p.frame(pa)
+		off := int(pa & PageMask)
+		c := copy(b[copied:], f[off:])
+		copied += c
+		pa += uint32(c)
 	}
 	return b
 }
 
 // WriteBytes copies b into physical memory starting at pa.
 func (p *Physical) WriteBytes(pa uint32, b []byte) {
-	for i, v := range b {
-		p.Write8(pa+uint32(i), v)
+	for len(b) > 0 {
+		f := p.frame(pa)
+		off := int(pa & PageMask)
+		c := copy(f[off:], b)
+		b = b[c:]
+		pa += uint32(c)
 	}
 }
 
 // Zero clears n bytes starting at pa.
 func (p *Physical) Zero(pa uint32, n int) {
-	for i := 0; i < n; i++ {
-		p.Write8(pa+uint32(i), 0)
+	for n > 0 {
+		f := p.frame(pa)
+		off := int(pa & PageMask)
+		c := min(n, PageSize-off)
+		clear(f[off : off+c])
+		n -= c
+		pa += uint32(c)
 	}
 }
 
 // FrameCount reports how many frames have been touched.
-func (p *Physical) FrameCount() int { return len(p.frames) }
+func (p *Physical) FrameCount() int { return p.touched }
 
 // FrameAllocator hands out physical page frames from a fixed region of
 // physical memory. Frames are identified by their physical base

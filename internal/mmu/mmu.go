@@ -19,6 +19,13 @@ type MMU struct {
 	space *AddressSpace // current address space (CR3)
 	tlb   *TLB
 
+	// gen counts every event that can change the outcome of a
+	// translation performed through this MMU: CR3 loads, single-page
+	// invalidations, LDT switches and GDT/LDT descriptor mutations.
+	// The CPU's decoded-block cache folds it into its block tags, so
+	// any such event invalidates every cached block.
+	gen uint64
+
 	// WriteProtect mirrors CR0.WP: when true, supervisor-level code
 	// (CPL 0-2) also honours page write protection. Palladium's
 	// read-only GOT needs protection only against CPL 3, but we model
@@ -30,7 +37,7 @@ type MMU struct {
 // New returns an MMU over the given physical memory, charging
 // translation costs (TLB misses, flushes) to clock under model.
 func New(phys *mem.Physical, gdtSize int, clock *cycles.Clock, model *cycles.Model) *MMU {
-	return &MMU{
+	m := &MMU{
 		Phys:         phys,
 		GDT:          NewTable("gdt", gdtSize),
 		clock:        clock,
@@ -38,7 +45,17 @@ func New(phys *mem.Physical, gdtSize int, clock *cycles.Clock, model *cycles.Mod
 		tlb:          NewTLB(),
 		WriteProtect: true,
 	}
+	m.GDT.onMutate = m.bumpGen
+	return m
 }
+
+// bumpGen advances the translation generation (see the gen field).
+func (m *MMU) bumpGen() { m.gen++ }
+
+// TransGen returns the current translation generation. It changes
+// whenever CR3 is loaded, a page is invalidated, the LDT is switched,
+// or a GDT/LDT descriptor is installed or cleared.
+func (m *MMU) TransGen() uint64 { return m.gen }
 
 // Model returns the active cost model.
 func (m *MMU) Model() *cycles.Model { return m.model }
@@ -59,15 +76,25 @@ func (m *MMU) Space() *AddressSpace { return m.space }
 func (m *MMU) LoadCR3(space *AddressSpace) {
 	m.space = space
 	m.tlb.Flush()
+	m.bumpGen()
 	m.clock.Charge(m.model, cycles.TLBFlushBase)
 }
 
 // SetLDT installs the current process's local descriptor table.
-func (m *MMU) SetLDT(ldt *Table) { m.LDT = ldt }
+func (m *MMU) SetLDT(ldt *Table) {
+	m.LDT = ldt
+	if ldt != nil {
+		ldt.onMutate = m.bumpGen
+	}
+	m.bumpGen()
+}
 
 // InvalidatePage drops one page translation (after a permission
 // change) without a full flush.
-func (m *MMU) InvalidatePage(linear uint32) { m.tlb.Invalidate(linear &^ mem.PageMask) }
+func (m *MMU) InvalidatePage(linear uint32) {
+	m.tlb.Invalidate(linear &^ uint32(mem.PageMask))
+	m.bumpGen()
+}
 
 // Descriptor resolves a selector to its descriptor. A nil return means
 // the selector is out of range for its table.
@@ -169,6 +196,28 @@ func (m *MMU) CheckPage(linear uint32, acc Access, cpl int, sel Selector, off ui
 		}
 	}
 	return e.frame | (linear & mem.PageMask), nil
+}
+
+// PeekPage resolves a linear address to a physical one without
+// charging cycles, counting TLB statistics, or filling the TLB: the
+// cached translation is used when present, otherwise the page tables
+// are walked read-only. Privilege and write-permission bits are NOT
+// checked. The CPU's block builder uses this to pre-resolve fetch
+// addresses; the counted, charged, checked translation still happens
+// on every execution of the cached block, so accounting is unchanged.
+func (m *MMU) PeekPage(linear uint32) (uint32, bool) {
+	page := linear &^ uint32(mem.PageMask)
+	if e, ok := m.tlb.peek(page); ok {
+		return e.frame | (linear & mem.PageMask), true
+	}
+	if m.space == nil {
+		return 0, false
+	}
+	leaf := m.space.Lookup(linear)
+	if !leaf.Present() {
+		return 0, false
+	}
+	return leaf.Frame() | (linear & mem.PageMask), true
 }
 
 // Translate runs the full segment + page pipeline for an access of

@@ -136,6 +136,11 @@ func (d *Descriptor) Contains(off uint32, size uint32) bool {
 type Table struct {
 	name    string
 	entries []Descriptor
+
+	// onMutate, when set (by the MMU that consults this table),
+	// runs after every Set/Clear so cached decode state keyed on
+	// descriptor contents can be invalidated.
+	onMutate func()
 }
 
 // NewTable returns a table with capacity n (entry 0 is the null
@@ -150,6 +155,9 @@ func (t *Table) Set(i int, d Descriptor) {
 		panic(fmt.Sprintf("mmu: %s index %d out of range", t.name, i))
 	}
 	t.entries[i] = d
+	if t.onMutate != nil {
+		t.onMutate()
+	}
 }
 
 // Get returns the descriptor at index i, or nil if out of range.
@@ -176,6 +184,9 @@ func (t *Table) Clear(i int) {
 		return
 	}
 	t.entries[i] = Descriptor{}
+	if t.onMutate != nil {
+		t.onMutate()
+	}
 }
 
 // Len returns the table capacity.

@@ -1,6 +1,8 @@
 package mmu
 
-// tlbEntry caches one linear-page translation together with the leaf
+import "repro/internal/mem"
+
+// tlbEntry carries one linear-page translation together with the leaf
 // permission bits consulted during the page-level check.
 type tlbEntry struct {
 	frame    uint32
@@ -8,11 +10,41 @@ type tlbEntry struct {
 	user     bool
 }
 
+const (
+	// The 20-bit virtual page number is split into a root index and a
+	// leaf index; leaves are allocated lazily so an idle TLB costs one
+	// root array. Indexing covers the full VPN space, so the array
+	// TLB never suffers conflict evictions: hit/miss behaviour is
+	// identical, entry for entry, to the unbounded map it replaced.
+	tlbLeafBits = 10
+	tlbLeafSize = 1 << tlbLeafBits
+	tlbRootSize = 1 << (32 - mem.PageShift - tlbLeafBits)
+
+	// Packed-entry flag bits. They live in the low 12 bits of the
+	// entry word, which are always zero in the page-aligned frame
+	// address. Validity is carried by the epoch tag in the high 32
+	// bits, not by a flag.
+	tlbFlagWritable = 1 << 1
+	tlbFlagUser     = 1 << 2
+)
+
+// tlbLeaf holds the packed translations for one aligned 4 MB slice of
+// the linear address space: [epoch:32 | frame:20<<12 | flags:3].
+type tlbLeaf [tlbLeafSize]uint64
+
 // TLB is a translation lookaside buffer. As on the x86 (Figure 1), it
 // is flushed whenever CR3 is loaded, i.e. on every task switch; the
 // cost of refilling it afterwards is charged as TLBMiss page walks.
+//
+// The backing store is a two-level array indexed directly by virtual
+// page number — the interpreter's hottest lookup is two shifts, two
+// indexed loads and a compare instead of a Go map probe. Each element
+// packs an epoch in its high 32 bits; Flush just bumps the current
+// epoch, invalidating every entry in O(1) without touching the leaves.
 type TLB struct {
-	entries map[uint32]tlbEntry
+	root    [tlbRootSize]*tlbLeaf
+	epoch   uint32
+	live    int
 	hits    uint64
 	misses  uint64
 	flushes uint64
@@ -20,11 +52,22 @@ type TLB struct {
 
 // NewTLB returns an empty TLB.
 func NewTLB() *TLB {
-	return &TLB{entries: make(map[uint32]tlbEntry)}
+	return &TLB{epoch: 1}
 }
 
+func unpack(e uint64) tlbEntry {
+	lo := uint32(e)
+	return tlbEntry{
+		frame:    lo &^ uint32(mem.PageMask),
+		writable: lo&tlbFlagWritable != 0,
+		user:     lo&tlbFlagUser != 0,
+	}
+}
+
+// lookup probes the TLB for a page-aligned linear address, counting
+// the probe as a hit or a miss.
 func (t *TLB) lookup(page uint32) (tlbEntry, bool) {
-	e, ok := t.entries[page]
+	e, ok := t.peek(page)
 	if ok {
 		t.hits++
 	} else {
@@ -33,19 +76,66 @@ func (t *TLB) lookup(page uint32) (tlbEntry, bool) {
 	return e, ok
 }
 
+// peek reports the cached translation for a page without touching the
+// hit/miss counters. It is the single probe implementation (lookup
+// wraps it with counting): the CPU's block builder uses it directly,
+// since its stat-free pre-translation must see exactly the state a
+// counted lookup would.
+func (t *TLB) peek(page uint32) (tlbEntry, bool) {
+	vpn := page >> mem.PageShift
+	leaf := t.root[vpn>>tlbLeafBits]
+	if leaf == nil {
+		return tlbEntry{}, false
+	}
+	e := leaf[vpn&(tlbLeafSize-1)]
+	if uint32(e>>32) != t.epoch {
+		return tlbEntry{}, false
+	}
+	return unpack(e), true
+}
+
 func (t *TLB) insert(page uint32, e tlbEntry) {
-	t.entries[page] = e
+	vpn := page >> mem.PageShift
+	leaf := t.root[vpn>>tlbLeafBits]
+	if leaf == nil {
+		leaf = new(tlbLeaf)
+		t.root[vpn>>tlbLeafBits] = leaf
+	}
+	idx := vpn & (tlbLeafSize - 1)
+	if uint32(leaf[idx]>>32) != t.epoch {
+		t.live++
+	}
+	lo := e.frame &^ uint32(mem.PageMask)
+	if e.writable {
+		lo |= tlbFlagWritable
+	}
+	if e.user {
+		lo |= tlbFlagUser
+	}
+	leaf[idx] = uint64(t.epoch)<<32 | uint64(lo)
 }
 
 // Invalidate drops the entry for one page (the invlpg instruction);
 // used when the kernel changes a single mapping's permissions.
 func (t *TLB) Invalidate(page uint32) {
-	delete(t.entries, page)
+	vpn := page >> mem.PageShift
+	leaf := t.root[vpn>>tlbLeafBits]
+	if leaf == nil {
+		return
+	}
+	idx := vpn & (tlbLeafSize - 1)
+	if uint32(leaf[idx]>>32) == t.epoch {
+		t.live--
+	}
+	leaf[idx] = 0
 }
 
-// Flush empties the TLB.
+// Flush empties the TLB by advancing the epoch; every entry stamped
+// with an older epoch is dead. (The epoch is 32 bits: over four
+// billion flushes would be needed to wrap it within one simulation.)
 func (t *TLB) Flush() {
-	clear(t.entries)
+	t.epoch++
+	t.live = 0
 	t.flushes++
 }
 
@@ -55,4 +145,4 @@ func (t *TLB) Stats() (hits, misses, flushes uint64) {
 }
 
 // Len reports the number of live entries.
-func (t *TLB) Len() int { return len(t.entries) }
+func (t *TLB) Len() int { return t.live }

@@ -1,0 +1,100 @@
+package mmu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// mapModelTLB is a reference model of the TLB the array implementation
+// replaced: an unbounded map of cached pages. Replaying an access
+// trace against both and comparing the counters pins the array TLB to
+// the exact hit/miss/flush accounting of the map.
+type mapModelTLB struct {
+	cached  map[uint32]bool
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+func (m *mapModelTLB) access(page uint32) {
+	if m.cached[page] {
+		m.hits++
+		return
+	}
+	m.misses++
+	m.cached[page] = true
+}
+
+func (m *mapModelTLB) invalidate(page uint32) { delete(m.cached, page) }
+
+func (m *mapModelTLB) flush() {
+	clear(m.cached)
+	m.flushes++
+}
+
+// TestArrayTLBMatchesMapModel replays a fixed workload — strided and
+// repeated page accesses interleaved with single-page invalidations
+// and full flushes — through MMU.Translate while driving the map
+// model in lockstep, then requires identical hit/miss/flush counts.
+func TestArrayTLBMatchesMapModel(t *testing.T) {
+	m, as := testMMU(t)
+	model := &mapModelTLB{cached: make(map[uint32]bool)}
+	// Compare deltas: testMMU's boot LoadCR3 already counted a flush.
+	h0, m0, f0 := m.TLB().Stats()
+
+	// A deterministic page set: 64 user pages, mapped up front.
+	// (Mapping allocates page-table frames but never touches the TLB.)
+	pages := make([]uint32, 64)
+	for i := range pages {
+		lin := uint32(0x0040_0000 + i*mem.PageSize)
+		if err := as.Map(lin, uint32(0x0100_0000+i*mem.PageSize), true, true); err != nil {
+			t.Fatal(err)
+		}
+		pages[i] = lin
+	}
+
+	access := func(lin uint32) {
+		t.Helper()
+		if _, f := m.Translate(MakeSelector(4, false, 3), lin, 4, Read, 3); f != nil {
+			t.Fatalf("translate %#x: %v", lin, f)
+		}
+		model.access(lin &^ uint32(mem.PageMask))
+	}
+
+	// xorshift PRNG with a fixed seed keeps the trace deterministic.
+	state := uint32(0x9E3779B9)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		return int(state) & (n - 1)
+	}
+
+	for round := 0; round < 2000; round++ {
+		switch {
+		case round%97 == 96:
+			m.LoadCR3(as) // flush
+			model.flush()
+		case round%13 == 12:
+			lin := pages[next(len(pages))]
+			m.InvalidatePage(lin)
+			model.invalidate(lin)
+		default:
+			access(pages[next(len(pages))])
+		}
+	}
+
+	hits, misses, flushes := m.TLB().Stats()
+	hits, misses, flushes = hits-h0, misses-m0, flushes-f0
+	if hits != model.hits || misses != model.misses || flushes != model.flushes {
+		t.Errorf("array TLB %d/%d/%d (hit/miss/flush), map model %d/%d/%d",
+			hits, misses, flushes, model.hits, model.misses, model.flushes)
+	}
+	if hits == 0 || misses == 0 || flushes == 0 {
+		t.Errorf("degenerate trace: %d/%d/%d", hits, misses, flushes)
+	}
+	if m.TLB().Len() > len(pages) {
+		t.Errorf("live entries = %d, more than the %d distinct pages", m.TLB().Len(), len(pages))
+	}
+}
