@@ -10,12 +10,16 @@
 //	palladium-bench -micro         # Section 5.1 micro-measurements
 //	palladium-bench -ablation      # design-choice ablations
 //	palladium-bench -interp        # interpreter block-cache/TLB counters
+//	palladium-bench -fleet         # concurrent machine-fleet scaling curve
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -26,11 +30,14 @@ func main() {
 	micro := flag.Bool("micro", false, "regenerate only the section 5.1 micro-measurements")
 	ablation := flag.Bool("ablation", false, "regenerate only the design ablations")
 	interp := flag.Bool("interp", false, "report interpreter block-cache and TLB counters")
+	fleetRun := flag.Bool("fleet", false, "run the Table 3 workload through a concurrent machine fleet")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated fleet worker counts for -fleet")
+	fleetJSON := flag.String("fleet-json", "", "write the -fleet report to this JSON file")
 	requests := flag.Int("requests", 100, "requests per Table 3 cell")
 	calls := flag.Int("calls", 1000, "protected calls for the -interp workload")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp
+	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "palladium-bench:", err)
 		os.Exit(1)
@@ -53,7 +60,7 @@ func main() {
 		fmt.Println()
 	}
 	if all || *table == 3 {
-		rows, err := experiments.Table3([]uint32{28, 1024, 10 * 1024, 100 * 1024}, *requests)
+		rows, err := experiments.Table3(experiments.Table3Sizes(), *requests)
 		if err != nil {
 			fail(err)
 		}
@@ -94,4 +101,36 @@ func main() {
 		}
 		experiments.RenderInterp(os.Stdout, st, *calls)
 	}
+	if *fleetRun {
+		counts, err := parseWorkers(*workers)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := experiments.MeasureFleet(28, *requests, counts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderFleet(os.Stdout, rep)
+		if *fleetJSON != "" {
+			b, err := json.MarshalIndent(rep, "", " ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*fleetJSON, append(b, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -workers value %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -2,12 +2,15 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/loader"
 	"repro/internal/mem"
+	"repro/internal/mmu"
 )
 
 // TestGOTAttackBlockedBySealing demonstrates the Section 4.4.2 hazard
@@ -277,5 +280,298 @@ func TestKernelServiceRunsOnCallersKernelStack(t *testing.T) {
 	top := p.KStackTop - kernel.KernelBase
 	if sawESP == 0 || sawESP > top || top-sawESP > mem.PageSize {
 		t.Errorf("service ESP = %#x, expected within the caller's kernel stack (top %#x)", sawESP, top)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial escape attempts. Each case is an extension that tries to
+// break out of its Palladium domain through a specific hole the paper
+// claims is closed; the test asserts the exact hardware fault, that
+// the protected bytes never changed, and that the trusted side keeps
+// working afterwards.
+
+const secretPattern = "\xDE\xAD\xBE\xEF\x50\x4C\x44\x4D"
+
+// userEscapeCase is one SPL-3 (user extension) escape attempt. The
+// source is generated against the concrete secret address the app
+// hides at PPL 0.
+type userEscapeCase struct {
+	name string
+	src  func(secret uint32) string
+	// wantKind/wantReason pin the exact fault the MMU/CPU must raise.
+	wantKind   mmu.FaultKind
+	wantReason string
+	// wantLinear, when true, requires the faulting linear address to
+	// be the secret itself.
+	wantLinear bool
+}
+
+func userEscapeCases() []userEscapeCase {
+	return []userEscapeCase{
+		{
+			// Section 4.4.1: the application's writable pages are PPL 0
+			// after init_PL; an SPL-3 store to one that was never
+			// exposed via set_range must page-fault.
+			name: "spl3 write to hidden PPL-0 page",
+			src: func(secret uint32) string {
+				return fmt.Sprintf(`
+					.global escape
+					.text
+					escape:
+						mov eax, 1
+						mov [%d], eax
+						ret
+				`, int32(secret))
+			},
+			wantKind:   mmu.PF,
+			wantReason: "page privilege violation (PPL 0 page at CPL 3)",
+			wantLinear: true,
+		},
+		{
+			// Figure 2: the user segments stop at 3 GB, so a jump at a
+			// kernel linear address trips the segment limit before any
+			// kernel byte is fetched.
+			name: "spl3 jump into the kernel bypassing the call gate",
+			src: func(uint32) string {
+				kernelTarget := uint32(0xC000_1000)
+				return fmt.Sprintf(`
+					.global escape
+					.text
+					escape:
+						mov eax, %d
+						jmp eax
+				`, int32(kernelTarget))
+			},
+			wantKind:   mmu.GP,
+			wantReason: "segment limit violation",
+		},
+		{
+			// Section 4.3: kernel entry points are call gates; an lcall
+			// straight at the kernel code descriptor is rejected.
+			name: "spl3 lcall directly at the kernel code segment",
+			src: func(uint32) string {
+				return `
+					.global escape
+					.text
+					escape:
+						lcall 0x08
+						ret
+				`
+			},
+			wantKind:   mmu.GP,
+			wantReason: "lcall: not a call gate",
+		},
+		{
+			// Figure 6's downhill transfer is an lret; forging a frame
+			// whose CS names a more privileged segment must not raise
+			// privilege.
+			name: "spl3 lret to a forged ring-0 selector",
+			src: func(uint32) string {
+				return `
+					.global escape
+					.text
+					escape:
+						push 0x08
+						push 0
+						lret
+				`
+			},
+			wantKind:   mmu.GP,
+			wantReason: "lret to more privileged level",
+		},
+	}
+}
+
+func TestAdversarialUserEscapeAttempts(t *testing.T) {
+	for _, tc := range userEscapeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newSystem(t)
+			a := newApp(t, s)
+
+			// The application's secret: a writable (hence PPL 0) page
+			// holding a known pattern.
+			secret, err := a.P.Mmap(s.K, 0, mem.PageSize, true, "secret")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.P.Touch(s.K, secret, mem.PageSize); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.WriteMem(secret, []byte(secretPattern)); err != nil {
+				t.Fatal(err)
+			}
+
+			var delivered []kernel.SignalInfo
+			a.P.SignalHandler = func(si kernel.SignalInfo) { delivered = append(delivered, si) }
+
+			h := mustOpen(t, a, tc.src(secret))
+			pf := mustSym(t, a, h, "escape")
+			_, err = pf.Call(0)
+			if !errors.Is(err, ErrExtensionFault) {
+				t.Fatalf("escape returned %v, want ErrExtensionFault", err)
+			}
+
+			// Exactly one SIGSEGV with exactly the expected fault.
+			if len(delivered) != 1 || delivered[0].Sig != kernel.SIGSEGV {
+				t.Fatalf("signals delivered = %+v, want one SIGSEGV", delivered)
+			}
+			f := delivered[0].Fault
+			if f == nil {
+				t.Fatal("SIGSEGV carried no fault")
+			}
+			if f.Kind != tc.wantKind {
+				t.Errorf("fault kind = %v, want %v (%v)", f.Kind, tc.wantKind, f)
+			}
+			if !strings.Contains(f.Reason, tc.wantReason) {
+				t.Errorf("fault reason = %q, want %q", f.Reason, tc.wantReason)
+			}
+			if f.CPL != 3 {
+				t.Errorf("fault CPL = %d, want 3 (the extension, not the app)", f.CPL)
+			}
+			if tc.wantLinear && f.Linear != secret {
+				t.Errorf("fault linear = %#x, want the secret %#x", f.Linear, secret)
+			}
+
+			// Not a single protected byte changed.
+			got, err := a.ReadMem(secret, len(secretPattern))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != secretPattern {
+				t.Errorf("secret after attack = % x, want % x", got, secretPattern)
+			}
+
+			// The application still works: a benign protected call
+			// succeeds after the attack was aborted.
+			h2 := mustOpen(t, a, incSrc)
+			inc := mustSym(t, a, h2, "inc")
+			if got, err := inc.Call(41); err != nil || got != 42 {
+				t.Errorf("post-attack protected call = %d, %v; want 42", got, err)
+			}
+		})
+	}
+}
+
+// TestAdversarialKernelEscapeAttempts is the SPL-1 side: kernel
+// extensions trying to escape their extension segment. The victim is a
+// second extension segment holding a known byte; the paper's claim is
+// that the segment limit check stops the attacker before the victim
+// (or any other kernel byte) is touched.
+func TestAdversarialKernelEscapeAttempts(t *testing.T) {
+	cases := []struct {
+		name string
+		src  func(escapeOff int32) string
+		want string // substring of the aborted-extension error
+	}{
+		{
+			// The Section 4.2 scenario: a store whose segment-relative
+			// offset lands in another extension's segment, far past the
+			// attacker's limit.
+			name: "spl1 write past the segment limit",
+			src: func(escapeOff int32) string {
+				return fmt.Sprintf(`
+					.global attack
+					.text
+					attack:
+						mov eax, 255
+						mov [%d], eax
+						ret
+				`, escapeOff)
+			},
+			want: "segment limit violation",
+		},
+		{
+			// Jumping out of the code segment is caught the same way.
+			name: "spl1 jump past the segment limit",
+			src: func(escapeOff int32) string {
+				return fmt.Sprintf(`
+					.global attack
+					.text
+					attack:
+						mov eax, %d
+						jmp eax
+				`, escapeOff)
+			},
+			want: "segment limit violation",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newSystem(t)
+			if _, err := s.K.CreateProcess(); err != nil {
+				t.Fatal(err)
+			}
+
+			attacker, err := s.NewExtSegment("attacker", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim, err := s.NewExtSegment("victim", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vim, err := s.Insmod(victim, isa.MustAssemble("victim", `
+				.global vget
+				.text
+				vget:
+					mov eax, [vstash]
+					ret
+				.data
+				.global vstash
+				vstash: .word 90
+			`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stashOff, ok := vim.Lookup("vstash")
+			if !ok {
+				t.Fatal("vstash not found")
+			}
+			// The attacker's segment-relative view of the victim's
+			// stash: beyond the attacker's limit by construction.
+			escapeOff := int32(victim.Base + stashOff - attacker.Base)
+			if uint32(escapeOff) <= attacker.Limit {
+				t.Fatalf("test setup: escape offset %#x within attacker limit %#x", escapeOff, attacker.Limit)
+			}
+			if _, err := s.Insmod(attacker, isa.MustAssemble("attacker", tc.src(escapeOff))); err != nil {
+				t.Fatal(err)
+			}
+
+			fn, ok := s.ExtensionFunction("attack")
+			if !ok {
+				t.Fatal("attack not registered")
+			}
+			_, err = fn.Invoke(0)
+			if !errors.Is(err, ErrKernelExtensionAborted) {
+				t.Fatalf("attack returned %v, want ErrKernelExtensionAborted", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), "#GP") {
+				t.Errorf("abort error = %q, want #GP with %q", err, tc.want)
+			}
+			if !attacker.Aborted() {
+				t.Error("attacker segment not aborted")
+			}
+
+			// The victim's byte never changed and the victim still runs.
+			vget, ok := s.ExtensionFunction("vget")
+			if !ok {
+				t.Fatal("victim was deregistered by the attacker's abort")
+			}
+			if got, err := vget.Invoke(0); err != nil || got != 90 {
+				t.Errorf("victim stash after attack = %d, %v; want 90", got, err)
+			}
+			raw, err := s.ReadShared(victim, stashOff, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if raw[0] != 90 {
+				t.Errorf("victim byte = %d, want 90", raw[0])
+			}
+
+			// The attacker's entry point is gone (resource reclamation).
+			if _, ok := s.ExtensionFunction("attack"); ok {
+				t.Error("aborted extension still registered")
+			}
+		})
 	}
 }

@@ -361,7 +361,7 @@ func TestFirstTickDeferred(t *testing.T) {
 // instructions-per-second on a tight compute loop — the path the
 // decoded-block cache accelerates.
 func BenchmarkRunHotLoop(b *testing.B) {
-	h := newHarness(&testing.T{})
+	h := newHarness(b)
 	syms := h.install(0x0001_0000, `
 		entry:
 			mov eax, 0

@@ -42,6 +42,7 @@ func TestALUMatchesGoSemanticsProperty(t *testing.T) {
 		{"or", func(a, b uint32) uint32 { return a | b }},
 		{"xor", func(a, b uint32) uint32 { return a ^ b }},
 	}
+	rng := testRand(t)
 	for _, op := range ops {
 		op := op
 		f := func(a, b uint32) bool {
@@ -55,7 +56,7 @@ func TestALUMatchesGoSemanticsProperty(t *testing.T) {
 			}
 			return flags.SF == (want&0x8000_0000 != 0)
 		}
-		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
 			t.Errorf("%s: %v", op.name, err)
 		}
 	}
@@ -73,7 +74,7 @@ func TestCmpFlagsMatchComparisonsProperty(t *testing.T) {
 		signedLess := int32(a) < int32(b)
 		return (flags.SF != flags.OF) == signedLess
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: testRand(t)}); err != nil {
 		t.Error(err)
 	}
 }
@@ -100,7 +101,7 @@ func TestPushPopRoundTripProperty(t *testing.T) {
 		return h.m.Reg(isa.ECX) == b && h.m.Reg(isa.EDX) == a &&
 			h.m.Reg(isa.ESP) == 0x0008_1000
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: testRand(t)}); err != nil {
 		t.Error(err)
 	}
 }
@@ -252,7 +253,7 @@ func TestFlagsPackUnpackProperty(t *testing.T) {
 		fl := Flags{ZF: zf, SF: sf, CF: cf, OF: of}
 		return unpackFlags(fl.pack()) == fl
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, &quick.Config{Rand: testRand(t)}); err != nil {
 		t.Error(err)
 	}
 }

@@ -25,13 +25,13 @@ const (
 )
 
 type harness struct {
-	t     *testing.T
+	t     testing.TB
 	m     *Machine
 	as    *mmu.AddressSpace
 	alloc *mem.FrameAllocator
 }
 
-func newHarness(t *testing.T) *harness {
+func newHarness(t testing.TB) *harness {
 	t.Helper()
 	phys := mem.NewPhysical()
 	clock := cycles.NewClock(200)

@@ -1,0 +1,35 @@
+package cpu
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// defaultTestSeed is the logged constant every randomized test in this
+// package derives its pseudo-random stream from, so a failure
+// reproduces exactly by re-running the test. Override with
+// PALLADIUM_TEST_SEED=<int64> to explore other streams (e.g. to replay
+// a seed a fuzzing run found).
+const defaultTestSeed int64 = 19991212 // SOSP '99
+
+// testSeed returns the base seed, logging it so failures are
+// reproducible from the test output alone.
+func testSeed(tb testing.TB) int64 {
+	seed := defaultTestSeed
+	if s := os.Getenv("PALLADIUM_TEST_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			tb.Fatalf("bad PALLADIUM_TEST_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	tb.Logf("randomized test seed = %d (override with PALLADIUM_TEST_SEED)", seed)
+	return seed
+}
+
+// testRand returns the package's deterministic random stream.
+func testRand(tb testing.TB) *rand.Rand {
+	return rand.New(rand.NewSource(testSeed(tb)))
+}

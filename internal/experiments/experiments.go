@@ -268,6 +268,12 @@ type Table3Row struct {
 	WebServer                float64
 }
 
+// Table3Sizes returns the paper's Table 3 file sizes; shared by the
+// serial and fleet drivers so their rows stay diffable.
+func Table3Sizes() []uint32 {
+	return []uint32{28, 1024, 10 * 1024, 100 * 1024}
+}
+
 // Table3 regenerates the CGI throughput comparison. requests is the
 // per-cell request count (the paper uses 1000; smaller counts converge
 // to the same rates because the model is deterministic).
@@ -283,18 +289,18 @@ func Table3(sizes []uint32, requests int) ([]Table3Row, error) {
 			return nil, err
 		}
 		row := Table3Row{Size: size}
-		for m, dst := range map[webserver.Model]*float64{
-			webserver.CGI:             &row.CGI,
-			webserver.FastCGI:         &row.FastCGI,
-			webserver.LibCGIProtected: &row.LibCGIProt,
-			webserver.LibCGI:          &row.LibCGIUnprot,
-			webserver.Static:          &row.WebServer,
-		} {
+		dst := modelDests(&row.CGI, &row.FastCGI, &row.LibCGIProt, &row.LibCGIUnprot, &row.WebServer)
+		// Fixed serving order: the per-request TLB warmth carried from
+		// one model to the next shifts the rates a few parts per
+		// million, so map-iteration order would make the full-precision
+		// values nondeterministic (the fleet's N=1 path is pinned
+		// bit-identical to these rows).
+		for _, m := range fleetModels {
 			v, err := srv.Throughput(m, requests)
 			if err != nil {
 				return nil, err
 			}
-			*dst = v
+			*dst[m] = v
 		}
 		rows = append(rows, row)
 	}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/filter"
+	"repro/internal/webserver"
+)
+
+// fleetModels is the fixed serving order shared by the serial Table3
+// and every fleet run. The order matters at full float precision: TLB
+// warmth carries from one model's requests to the next, so reordering
+// (or iterating a map) would shift the rates a few parts per million
+// and break the serial-vs-fleet bit-identity anchor.
+var fleetModels = []webserver.Model{
+	webserver.CGI,
+	webserver.FastCGI,
+	webserver.LibCGIProtected,
+	webserver.LibCGI,
+	webserver.Static,
+}
+
+// modelDests maps each served model to its destination cell; shared by
+// every Table-3-shaped row filler so the model set lives in one place.
+func modelDests(cgi, fastcgi, prot, unprot, static *float64) map[webserver.Model]*float64 {
+	return map[webserver.Model]*float64{
+		webserver.CGI:             cgi,
+		webserver.FastCGI:         fastcgi,
+		webserver.LibCGIProtected: prot,
+		webserver.LibCGI:          unprot,
+		webserver.Static:          static,
+	}
+}
+
+// Table3ConcurrentRow is one file-size row of the fleet-served Table 3:
+// aggregate requests/second across all machines of the fleet.
+type Table3ConcurrentRow struct {
+	Size    uint32 `json:"size_bytes"`
+	Workers int    `json:"workers"`
+
+	CGI          float64 `json:"cgi_req_per_s"`
+	FastCGI      float64 `json:"fastcgi_req_per_s"`
+	LibCGIProt   float64 `json:"libcgi_prot_req_per_s"`
+	LibCGIUnprot float64 `json:"libcgi_unprot_req_per_s"`
+	WebServer    float64 `json:"static_req_per_s"`
+}
+
+// Table3Concurrent regenerates Table 3 through a fleet of `workers`
+// machines per file size: every machine boots exactly as the serial
+// harness does, and all five models are served through the same fleet
+// in a fixed order. requests is the per-cell total across the fleet.
+// With workers=1 the rows are bit-identical to Table3's, because the
+// single machine executes the same request sequence and the rate comes
+// from the same span and formula.
+func Table3Concurrent(sizes []uint32, requests, workers int) ([]Table3ConcurrentRow, error) {
+	var rows []Table3ConcurrentRow
+	for _, size := range sizes {
+		f, err := webserver.NewFleet(size, workers)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3ConcurrentRow{Size: size, Workers: workers}
+		dst := modelDests(&row.CGI, &row.FastCGI, &row.LibCGIProt, &row.LibCGIUnprot, &row.WebServer)
+		for _, m := range fleetModels {
+			res, err := f.Serve(m, requests)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			*dst[m] = res.AggregateReqPerSec
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FleetScalePoint is one worker count of the scaling curve, measured
+// on the Table 3 workload (28-byte file, the paper's headline row).
+type FleetScalePoint struct {
+	Workers int `json:"workers"`
+
+	// Aggregate simulated serving capacity per model (req/s summed
+	// over the fleet's machines).
+	CGI          float64 `json:"cgi_req_per_s"`
+	FastCGI      float64 `json:"fastcgi_req_per_s"`
+	LibCGIProt   float64 `json:"libcgi_prot_req_per_s"`
+	LibCGIUnprot float64 `json:"libcgi_unprot_req_per_s"`
+	WebServer    float64 `json:"static_req_per_s"`
+
+	// SpeedupVs1 is LibCGIProt relative to the 1-worker point.
+	SpeedupVs1 float64 `json:"libcgi_prot_speedup_vs_1"`
+
+	// Dispatcher behaviour over the whole point.
+	WallSeconds    float64 `json:"wall_seconds"`
+	QueueHighWater int     `json:"queue_high_water"`
+	Steals         uint64  `json:"steals"`
+
+	// FilterPktPerSec is the packet-filter fleet's aggregate rate on
+	// the Figure 7 4-term workload at the same worker count.
+	FilterPktPerSec float64 `json:"filter_pkt_per_s"`
+}
+
+// FleetReport is the BENCH_fleet.json payload.
+type FleetReport struct {
+	Note     string            `json:"note"`
+	Size     uint32            `json:"file_size_bytes"`
+	Requests int               `json:"requests_per_cell"`
+	Scaling  []FleetScalePoint `json:"scaling"`
+	// Table3N1 is the 1-worker fleet Table 3 (all paper sizes), for
+	// diffing against the serial rows in BENCH_interp.json.
+	Table3N1 []Table3ConcurrentRow `json:"table3_fleet_n1"`
+}
+
+// MeasureFleet produces the fleet scaling curve: for each worker
+// count, the aggregate Table 3 rates at the given file size plus the
+// packet-filter fleet rate, and the 1-worker Table 3 across all paper
+// sizes as the bit-identity anchor.
+func MeasureFleet(size uint32, requests int, workerCounts []int) (FleetReport, error) {
+	rep := FleetReport{
+		Note: "Aggregate simulated serving capacity of a fleet of independently booted Palladium machines " +
+			"(sum of per-machine sustained rates; each machine's own simulated metrics are identical to the " +
+			"serial reproduction). Wall seconds are host time and depend on host cores.",
+		Size:     size,
+		Requests: requests,
+	}
+	for _, n := range workerCounts {
+		f, err := webserver.NewFleet(size, n)
+		if err != nil {
+			return rep, err
+		}
+		pt := FleetScalePoint{Workers: n}
+		dst := modelDests(&pt.CGI, &pt.FastCGI, &pt.LibCGIProt, &pt.LibCGIUnprot, &pt.WebServer)
+		for _, m := range fleetModels {
+			res, err := f.Serve(m, requests)
+			if err != nil {
+				f.Close()
+				return rep, err
+			}
+			*dst[m] = res.AggregateReqPerSec
+			pt.WallSeconds += res.WallSeconds
+			pt.QueueHighWater = res.QueueHighWater
+			pt.Steals = res.Steals
+		}
+		if err := f.Close(); err != nil {
+			return rep, err
+		}
+
+		// Packet-filter fleet on the Figure 7 4-term workload.
+		pkt := filter.MakeUDPPacket(1234, 53, 64)
+		ff, err := filter.NewFleet(n, filter.TermsTrueFor(pkt, 4))
+		if err != nil {
+			return rep, err
+		}
+		pkts := make([][]byte, requests)
+		for i := range pkts {
+			pkts[i] = pkt
+		}
+		fres, err := ff.MatchAll(pkts)
+		if cerr := ff.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return rep, err
+		}
+		if fres.Matched != len(pkts) {
+			return rep, fmt.Errorf("experiments: filter fleet matched %d of %d all-true packets", fres.Matched, len(pkts))
+		}
+		pt.FilterPktPerSec = fres.AggregatePktPerSec
+		rep.Scaling = append(rep.Scaling, pt)
+	}
+
+	// Speedups are strictly relative to the 1-worker point; when the
+	// caller measured no 1-worker point the field stays 0 rather than
+	// silently renormalizing against some other baseline.
+	for _, pt := range rep.Scaling {
+		if pt.Workers == 1 && pt.LibCGIProt > 0 {
+			for i := range rep.Scaling {
+				rep.Scaling[i].SpeedupVs1 = rep.Scaling[i].LibCGIProt / pt.LibCGIProt
+			}
+			break
+		}
+	}
+
+	n1, err := Table3Concurrent(Table3Sizes(), requests, 1)
+	if err != nil {
+		return rep, err
+	}
+	rep.Table3N1 = n1
+	return rep, nil
+}
+
+// RenderFleet prints the scaling curve.
+func RenderFleet(w io.Writer, rep FleetReport) {
+	fmt.Fprintf(w, "Fleet scaling: aggregate req/s on the Table 3 workload (%d-byte file, %d requests/cell)\n",
+		rep.Size, rep.Requests)
+	fmt.Fprintf(w, "%-8s %8s %9s %12s %14s %10s %10s %12s %7s\n",
+		"Workers", "CGI", "FastCGI", "LibCGI(prot)", "LibCGI(unprot)", "WebServer", "speedup", "filter-pkt/s", "steals")
+	for _, p := range rep.Scaling {
+		fmt.Fprintf(w, "%-8d %8.0f %9.0f %12.0f %14.0f %10.0f %9.2fx %12.0f %7d\n",
+			p.Workers, p.CGI, p.FastCGI, p.LibCGIProt, p.LibCGIUnprot, p.WebServer,
+			p.SpeedupVs1, p.FilterPktPerSec, p.Steals)
+	}
+}

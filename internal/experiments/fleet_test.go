@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTable3ConcurrentN1BitIdentical is the acceptance anchor for the
+// fleet refactor: a 1-worker fleet regenerates Table 3 bit-identically
+// to the serial path, so every paper number is the N=1 case of the
+// concurrent serving tier.
+func TestTable3ConcurrentN1BitIdentical(t *testing.T) {
+	sizes := []uint32{28, 10 * 1024}
+	const requests = 25
+	serial, err := Table3(sizes, requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := Table3Concurrent(sizes, requests, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(fleet) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(fleet))
+	}
+	for i := range serial {
+		s, f := serial[i], fleet[i]
+		if f.Size != s.Size || f.Workers != 1 {
+			t.Fatalf("row %d metadata: %+v", i, f)
+		}
+		if f.CGI != s.CGI || f.FastCGI != s.FastCGI || f.LibCGIProt != s.LibCGIProt ||
+			f.LibCGIUnprot != s.LibCGIUnprot || f.WebServer != s.WebServer {
+			t.Errorf("size %d: fleet N=1 row %+v != serial %+v (must be bit-identical)", s.Size, f, s)
+		}
+	}
+}
+
+// TestMeasureFleetScalingCurve sanity-checks the BENCH_fleet.json
+// generator: monotone aggregate capacity and the >=3x-at-8-workers
+// acceptance bar (checked here at a smaller scale to keep the test
+// cheap: 4 workers must already be >=3x).
+func TestMeasureFleetScalingCurve(t *testing.T) {
+	rep, err := MeasureFleet(28, 24, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scaling) != 3 {
+		t.Fatalf("scaling points = %d, want 3", len(rep.Scaling))
+	}
+	base := rep.Scaling[0]
+	if base.SpeedupVs1 != 1 {
+		t.Errorf("1-worker speedup = %v, want 1", base.SpeedupVs1)
+	}
+	prev := 0.0
+	for _, pt := range rep.Scaling {
+		if pt.LibCGIProt <= prev {
+			t.Errorf("aggregate LibCGI(prot) not monotone: %v after %v at %d workers", pt.LibCGIProt, prev, pt.Workers)
+		}
+		prev = pt.LibCGIProt
+		if pt.FilterPktPerSec <= 0 {
+			t.Errorf("%d workers: no filter fleet rate", pt.Workers)
+		}
+	}
+	if last := rep.Scaling[2]; last.SpeedupVs1 < 3 {
+		t.Errorf("4-worker speedup = %.2f, want >= 3", last.SpeedupVs1)
+	}
+	if len(rep.Table3N1) != 4 {
+		t.Errorf("Table3N1 rows = %d, want the 4 paper sizes", len(rep.Table3N1))
+	}
+}

@@ -1,0 +1,131 @@
+package filter
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bpf"
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/fleet"
+)
+
+// fleetFilter is one fleet worker: a complete Palladium machine with
+// the compiled filter insmod'ed as a kernel extension. Each worker
+// owns its machine outright, so concurrent matching never shares
+// simulator state.
+type fleetFilter struct {
+	s   *core.System
+	fil *Compiled
+}
+
+// SimCycles implements fleet.Machine.
+func (w *fleetFilter) SimCycles() float64 { return w.s.K.Clock.Cycles() }
+
+// Fleet is a pool of packet-filtering machines, the concurrent version
+// of the Figure 7 Palladium path: N kernels each running the compiled
+// filter extension, splitting an incoming packet stream.
+type Fleet struct {
+	Pool *fleet.Pool[*fleetFilter]
+}
+
+// FleetResult summarizes a concurrent filtering run.
+type FleetResult struct {
+	Workers int
+	Packets int
+	Matched int
+	// AggregatePktPerSec sums each machine's simulated packet rate
+	// over the span it measured locally.
+	AggregatePktPerSec float64
+	// PerWorkerPackets lists how many packets each machine filtered.
+	PerWorkerPackets []uint64
+	// WallSeconds is the host wall-clock time for the run.
+	WallSeconds float64
+	Steals      uint64
+}
+
+// NewFleet boots `workers` machines, each with its own compiled filter
+// for the given conjunction terms.
+func NewFleet(workers int, terms []bpf.Term) (*Fleet, error) {
+	pool, err := fleet.New(fleet.Config{Workers: workers}, func(int) (*fleetFilter, error) {
+		s, err := core.NewSystem(cycles.Measured())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.K.CreateProcess(); err != nil {
+			return nil, err
+		}
+		fil, err := NewCompiled(s, terms)
+		if err != nil {
+			return nil, err
+		}
+		return &fleetFilter{s: s, fil: fil}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{Pool: pool}, nil
+}
+
+// MatchAll pushes the packet stream through the fleet and reports the
+// match count plus the aggregate simulated filtering rate. Packets are
+// read-only and may be shared between workers.
+func (f *Fleet) MatchAll(pkts [][]byte) (FleetResult, error) {
+	before := f.Pool.Stats()
+	clock0 := make([]float64, f.Pool.Workers())
+	for w := range clock0 {
+		clock0[w] = f.Pool.Machine(w).SimCycles()
+	}
+	start := time.Now()
+	var matched atomic.Int64
+	for i, pkt := range pkts {
+		pkt := pkt
+		// Pinned round-robin placement, as in webserver.Fleet.Serve:
+		// simulated placement must not depend on host scheduling.
+		err := f.Pool.SubmitTo(i%f.Pool.Workers(), func(_ int, w *fleetFilter) error {
+			ok, err := w.fil.Match(pkt)
+			if err != nil {
+				return err
+			}
+			if ok {
+				matched.Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			return FleetResult{}, err
+		}
+	}
+	f.Pool.Drain()
+	after := f.Pool.Stats()
+
+	res := FleetResult{
+		Workers:          f.Pool.Workers(),
+		Packets:          len(pkts),
+		Matched:          int(matched.Load()),
+		PerWorkerPackets: make([]uint64, f.Pool.Workers()),
+		WallSeconds:      time.Since(start).Seconds(),
+		Steals:           after.Steals,
+	}
+	for w := range after.Workers {
+		n := after.Workers[w].Requests - before.Workers[w].Requests
+		cyc := f.Pool.Machine(w).SimCycles() - clock0[w]
+		res.PerWorkerPackets[w] = n
+		if n == 0 || cyc == 0 {
+			continue
+		}
+		hz := f.Pool.Machine(w).s.K.Clock.MHz() * 1e6
+		res.AggregatePktPerSec += float64(n) / (cyc / hz)
+	}
+	if errs := after.Errors - before.Errors; errs != 0 {
+		return res, fmt.Errorf("filter: %d fleet packets failed", errs)
+	}
+	return res, nil
+}
+
+// Close drains and shuts the fleet down.
+func (f *Fleet) Close() error {
+	_, err := f.Pool.Close()
+	return err
+}

@@ -7,6 +7,7 @@ package filter
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bpf"
 	"repro/internal/core"
@@ -87,7 +88,10 @@ func (f *Interpreted) Match(pkt []byte) (bool, error) {
 // Name implements Evaluator.
 func (f *Interpreted) Name() string { return "BPF" }
 
-var compiledSeq int
+// compiledSeq disambiguates the entry symbols of compiled filters; it
+// is atomic because fleet workers on independent machines may compile
+// filters concurrently.
+var compiledSeq atomic.Int64
 
 // Compiled is the Palladium path: the filter compiled to native code
 // and loaded as a kernel extension; the kernel stages packet headers
@@ -104,8 +108,7 @@ type Compiled struct {
 // extension segment and locates its shared area.
 func NewCompiled(s *core.System, terms []bpf.Term) (*Compiled, error) {
 	prog := bpf.Conjunction(terms)
-	compiledSeq++
-	entry := fmt.Sprintf("pfilter_%d", compiledSeq)
+	entry := fmt.Sprintf("pfilter_%d", compiledSeq.Add(1))
 	text, err := bpf.Compile(prog, entry, "shared_area")
 	if err != nil {
 		return nil, err

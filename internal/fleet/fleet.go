@@ -1,0 +1,329 @@
+// Package fleet runs a pool of independently booted Palladium
+// machines behind a work-stealing request dispatcher, turning the
+// one-machine-at-a-time reproduction into a concurrent serving tier.
+//
+// The isolation argument is machine-per-worker ownership: every worker
+// goroutine boots and exclusively owns one complete simulated machine
+// (its own core.System, kernel, MMU, TLB, physical memory and clock),
+// so no simulator state is ever shared between goroutines and the
+// simulated metrics of each machine are bit-identical to what the same
+// machine would produce serving alone. The pool only adds scheduling
+// around the machines: a bounded submission queue, per-worker run
+// queues with idle-worker stealing, per-worker and aggregate
+// statistics, and a graceful drain that never drops an accepted
+// request.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Machine is the constraint for worker-owned simulated machines: the
+// pool reads the machine's simulated clock around every request to
+// attribute simulated cycles to workers.
+type Machine interface {
+	// SimCycles returns the machine's simulated clock reading.
+	SimCycles() float64
+}
+
+// Request is one unit of work executed on a worker-owned machine. The
+// worker index identifies the machine the request actually ran on
+// (which, under stealing, may differ from the submission target).
+type Request[M Machine] func(worker int, m M) error
+
+// ErrClosed reports a Submit after Close.
+var ErrClosed = errors.New("fleet: pool is closed")
+
+// Config sizes a pool.
+type Config struct {
+	// Workers is the number of machines to boot (default 1).
+	Workers int
+	// Queue bounds the number of accepted-but-unfinished requests;
+	// Submit blocks while the bound is reached (default 4*Workers).
+	Queue int
+}
+
+// WorkerStats are one worker's counters. All fields are totals since
+// boot; Stats aggregates them by summation (QueueHighWater by max).
+type WorkerStats struct {
+	Worker int
+	// Requests is the number of requests this worker executed.
+	Requests uint64
+	// Errors counts requests whose handler returned an error.
+	Errors uint64
+	// Steals counts requests this worker took from another worker's
+	// queue while its own was empty.
+	Steals uint64
+	// SimCycles is the simulated cycles charged to this worker's
+	// machine while executing requests.
+	SimCycles float64
+	// BootCycles is the machine's simulated clock reading right after
+	// boot, before any request ran.
+	BootCycles float64
+	// Busy is the wall-clock time spent executing requests.
+	Busy time.Duration
+	// QueueHighWater is the deepest this worker's run queue ever got.
+	QueueHighWater int
+}
+
+// Stats is a snapshot of the whole pool.
+type Stats struct {
+	Workers []WorkerStats
+	// Aggregates: sums of the per-worker fields (QueueHighWater is
+	// the max across workers).
+	Requests       uint64
+	Errors         uint64
+	Steals         uint64
+	SimCycles      float64
+	Busy           time.Duration
+	QueueHighWater int
+}
+
+// aggregate recomputes the summary fields from Workers.
+func (s *Stats) aggregate() {
+	s.Requests, s.Errors, s.Steals, s.SimCycles, s.Busy, s.QueueHighWater = 0, 0, 0, 0, 0, 0
+	for _, w := range s.Workers {
+		s.Requests += w.Requests
+		s.Errors += w.Errors
+		s.Steals += w.Steals
+		s.SimCycles += w.SimCycles
+		s.Busy += w.Busy
+		if w.QueueHighWater > s.QueueHighWater {
+			s.QueueHighWater = w.QueueHighWater
+		}
+	}
+}
+
+// item is one queued request. Pinned items model the fleet's load
+// balancer assigning a request to a specific machine: they may only
+// run on their queue's worker (a steal would change which simulated
+// machine's clock the request charges, making simulated placement
+// depend on host scheduling).
+type item[M Machine] struct {
+	req    Request[M]
+	pinned bool
+}
+
+// Pool is a fleet of worker-owned machines behind a work-stealing
+// dispatcher.
+type Pool[M Machine] struct {
+	mu    sync.Mutex
+	work  *sync.Cond // work arrived (or the pool is closing)
+	space *sync.Cond // the submission bound has room again
+	idle  *sync.Cond // all accepted requests finished
+
+	queues   [][]item[M]
+	inflight int // accepted (queued or running) requests
+	next     int // round-robin submission cursor
+	bound    int
+	closing  bool
+
+	machines []M
+	stats    []WorkerStats
+	firstErr error
+	wg       sync.WaitGroup
+}
+
+// New boots cfg.Workers machines (sequentially, so boot-time frame and
+// address allocations are deterministic per worker index) and starts
+// one goroutine per machine.
+func New[M Machine](cfg Config, boot func(worker int) (M, error)) (*Pool[M], error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.Workers
+	}
+	p := &Pool[M]{
+		queues:   make([][]item[M], cfg.Workers),
+		bound:    cfg.Queue,
+		machines: make([]M, cfg.Workers),
+		stats:    make([]WorkerStats, cfg.Workers),
+	}
+	p.work = sync.NewCond(&p.mu)
+	p.space = sync.NewCond(&p.mu)
+	p.idle = sync.NewCond(&p.mu)
+	for w := 0; w < cfg.Workers; w++ {
+		m, err := boot(w)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: booting machine %d: %w", w, err)
+		}
+		p.machines[w] = m
+		p.stats[w] = WorkerStats{Worker: w, BootCycles: m.SimCycles()}
+	}
+	p.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go p.run(w)
+	}
+	return p, nil
+}
+
+// Workers returns the pool size.
+func (p *Pool[M]) Workers() int { return len(p.machines) }
+
+// Submit hands a request to the dispatcher, blocking while the
+// submission bound is reached. Requests are placed round-robin on the
+// worker run queues; idle workers steal from the longest queue.
+func (p *Pool[M]) Submit(req Request[M]) error {
+	p.mu.Lock()
+	w := p.next % len(p.queues)
+	p.next++
+	p.mu.Unlock()
+	return p.submit(w, item[M]{req: req})
+}
+
+// SubmitTo places a request on worker w's queue pinned to its machine:
+// only that worker executes it, so simulated placement is decided by
+// the caller's balancing policy, not by host scheduling. Capacity
+// measurements use this; wall-clock workloads use Submit and let idle
+// workers steal.
+func (p *Pool[M]) SubmitTo(w int, req Request[M]) error {
+	if w < 0 || w >= len(p.queues) {
+		return fmt.Errorf("fleet: no worker %d", w)
+	}
+	return p.submit(w, item[M]{req: req, pinned: true})
+}
+
+func (p *Pool[M]) submit(w int, it item[M]) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.inflight >= p.bound && !p.closing {
+		p.space.Wait()
+	}
+	if p.closing {
+		return ErrClosed
+	}
+	p.queues[w] = append(p.queues[w], it)
+	p.inflight++
+	if n := len(p.queues[w]); n > p.stats[w].QueueHighWater {
+		p.stats[w].QueueHighWater = n
+	}
+	// Broadcast, not Signal: a pinned item must wake its owner, and
+	// Signal could wake only a worker that cannot take it.
+	p.work.Broadcast()
+	return nil
+}
+
+// take returns the next request for worker w: its own queue first
+// (FIFO), then a steal of the newest stealable item from the most
+// loaded other queue that has one. It blocks while no eligible work
+// exists and reports false once the pool is closing and no work
+// remains for this worker (so every accepted request is executed).
+func (p *Pool[M]) take(w int) (Request[M], bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if q := p.queues[w]; len(q) > 0 {
+			it := q[0]
+			p.queues[w] = q[1:]
+			return it.req, true
+		}
+		victim, at, depth := -1, -1, 0
+		for v := range p.queues {
+			if v == w || len(p.queues[v]) <= depth {
+				continue
+			}
+			for i := len(p.queues[v]) - 1; i >= 0; i-- {
+				if !p.queues[v][i].pinned {
+					victim, at, depth = v, i, len(p.queues[v])
+					break
+				}
+			}
+		}
+		if victim >= 0 {
+			q := p.queues[victim]
+			req := q[at].req
+			p.queues[victim] = append(append([]item[M]{}, q[:at]...), q[at+1:]...)
+			p.stats[w].Steals++
+			return req, true
+		}
+		if p.closing {
+			return nil, false
+		}
+		p.work.Wait()
+	}
+}
+
+// run is the worker loop: it exclusively owns machine w.
+func (p *Pool[M]) run(w int) {
+	defer p.wg.Done()
+	m := p.machines[w]
+	for {
+		req, ok := p.take(w)
+		if !ok {
+			return
+		}
+		start := time.Now()
+		before := m.SimCycles()
+		err := req(w, m)
+		busy := time.Since(start)
+		cyc := m.SimCycles() - before
+
+		p.mu.Lock()
+		st := &p.stats[w]
+		st.Requests++
+		st.Busy += busy
+		st.SimCycles += cyc
+		if err != nil {
+			st.Errors++
+			if p.firstErr == nil {
+				p.firstErr = err
+			}
+		}
+		p.inflight--
+		if p.inflight == 0 {
+			p.idle.Broadcast()
+		}
+		p.space.Signal()
+		p.mu.Unlock()
+	}
+}
+
+// Drain blocks until every accepted request has finished. The pool
+// stays open for further submissions.
+func (p *Pool[M]) Drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.inflight > 0 {
+		p.idle.Wait()
+	}
+}
+
+// Stats snapshots per-worker and aggregate counters.
+func (p *Pool[M]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.statsLocked()
+}
+
+func (p *Pool[M]) statsLocked() Stats {
+	s := Stats{Workers: append([]WorkerStats(nil), p.stats...)}
+	s.aggregate()
+	return s
+}
+
+// Machine returns worker w's machine. It is only safe to touch the
+// machine while no requests are in flight (after Drain or Close); the
+// caller is reaching into a worker's private state.
+func (p *Pool[M]) Machine(w int) M { return p.machines[w] }
+
+// Close executes every already-accepted request, stops the workers,
+// and returns the final statistics plus the first request error
+// observed (if any). Submissions racing with Close either complete or
+// return ErrClosed; accepted ones are never dropped.
+func (p *Pool[M]) Close() (Stats, error) {
+	p.mu.Lock()
+	if !p.closing {
+		p.closing = true
+		p.work.Broadcast()
+		p.space.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.statsLocked(), p.firstErr
+}

@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeMachine is a minimal Machine for pool tests. Its fields are
+// deliberately unsynchronized: the pool's machine-per-worker ownership
+// guarantee is exactly what makes that safe, and the -race leg of the
+// test suite verifies it.
+type fakeMachine struct {
+	id     int
+	cycles float64
+	served int
+}
+
+func (m *fakeMachine) SimCycles() float64 { return m.cycles }
+
+func newFakePool(t *testing.T, workers, queue int) *Pool[*fakeMachine] {
+	t.Helper()
+	p, err := New(Config{Workers: workers, Queue: queue}, func(w int) (*fakeMachine, error) {
+		return &fakeMachine{id: w}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPoolHammer floods the pool from many goroutines, mixing
+// balanced (Submit) and pinned (SubmitTo) requests, and checks that
+// every accepted request executed exactly once and that the aggregate
+// stats equal the sum of the per-worker stats. Run with -race this is
+// also the machine-ownership proof: each fakeMachine is mutated
+// without locks by whichever worker runs the request.
+func TestPoolHammer(t *testing.T) {
+	const (
+		workers    = 8
+		submitters = 16
+		perSub     = 50
+	)
+	p := newFakePool(t, workers, 32)
+	var executed atomic.Uint64
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				req := func(w int, m *fakeMachine) error {
+					if m.id != w {
+						return fmt.Errorf("worker %d got machine %d", w, m.id)
+					}
+					m.cycles += 3
+					m.served++
+					executed.Add(1)
+					return nil
+				}
+				var err error
+				if i%2 == 0 {
+					err = p.Submit(req)
+				} else {
+					err = p.SubmitTo((s+i)%workers, req)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	stats, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const want = submitters * perSub
+	if got := executed.Load(); got != want {
+		t.Errorf("executed %d of %d requests", got, want)
+	}
+	if stats.Requests != want {
+		t.Errorf("stats.Requests = %d, want %d", stats.Requests, want)
+	}
+	if stats.SimCycles != 3*want {
+		t.Errorf("stats.SimCycles = %v, want %v", stats.SimCycles, 3*want)
+	}
+	if stats.Errors != 0 {
+		t.Errorf("stats.Errors = %d", stats.Errors)
+	}
+
+	// Aggregate equals the sum (max for the high-water mark) of the
+	// per-worker stats.
+	var sum Stats
+	sum.Workers = stats.Workers
+	sum.aggregate()
+	if stats.Requests != sum.Requests || stats.Errors != sum.Errors ||
+		stats.Steals != sum.Steals || stats.SimCycles != sum.SimCycles ||
+		stats.Busy != sum.Busy || stats.QueueHighWater != sum.QueueHighWater {
+		t.Errorf("aggregate %+v != recomputed %+v", stats, sum)
+	}
+
+	// And the per-worker machine counters agree with the per-worker
+	// stats (nothing ran on the wrong machine).
+	for w := 0; w < workers; w++ {
+		m := p.Machine(w)
+		if uint64(m.served) != stats.Workers[w].Requests {
+			t.Errorf("worker %d: machine served %d, stats say %d", w, m.served, stats.Workers[w].Requests)
+		}
+	}
+}
+
+// TestDrainDropsNothing checks the graceful-drain guarantee: every
+// accepted request completes, across multiple drain cycles and the
+// final close.
+func TestDrainDropsNothing(t *testing.T) {
+	p := newFakePool(t, 4, 8)
+	var executed atomic.Uint64
+	req := func(_ int, m *fakeMachine) error {
+		m.cycles++
+		executed.Add(1)
+		return nil
+	}
+	for round := 1; round <= 3; round++ {
+		for i := 0; i < 100; i++ {
+			if err := p.Submit(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Drain()
+		if got := executed.Load(); got != uint64(100*round) {
+			t.Fatalf("after drain %d: executed %d, want %d", round, got, 100*round)
+		}
+	}
+	// Requests queued at Close time still execute.
+	for i := 0; i < 50; i++ {
+		if err := p.Submit(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != 350 {
+		t.Errorf("executed %d, want 350 (close dropped requests)", got)
+	}
+	if stats.Requests != 350 {
+		t.Errorf("stats.Requests = %d, want 350", stats.Requests)
+	}
+	if err := p.Submit(req); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestPinnedPlacement checks that SubmitTo requests run only on their
+// target machine, even with other workers idle and stealing.
+func TestPinnedPlacement(t *testing.T) {
+	const workers = 4
+	p := newFakePool(t, workers, 16)
+	var wrong atomic.Uint64
+	for i := 0; i < 200; i++ {
+		target := i % workers
+		if err := p.SubmitTo(target, func(w int, m *fakeMachine) error {
+			if w != target || m.id != target {
+				wrong.Add(1)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrong.Load() != 0 {
+		t.Errorf("%d pinned requests ran on the wrong machine", wrong.Load())
+	}
+	if stats.Steals != 0 {
+		t.Errorf("steals = %d, want 0 for all-pinned load", stats.Steals)
+	}
+	for w := 0; w < workers; w++ {
+		if stats.Workers[w].Requests != 50 {
+			t.Errorf("worker %d served %d, want 50", w, stats.Workers[w].Requests)
+		}
+	}
+	if err := p.SubmitTo(99, func(int, *fakeMachine) error { return nil }); err == nil {
+		t.Error("SubmitTo(99) on a 4-worker pool must fail")
+	}
+}
+
+// TestIdleWorkerSteals blocks one worker on a long request and checks
+// that the other worker steals the backlog queued behind it.
+func TestIdleWorkerSteals(t *testing.T) {
+	p := newFakePool(t, 2, 64)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := p.SubmitTo(0, func(_ int, m *fakeMachine) error {
+		close(started)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Worker 0 is blocked; all these land in both queues, and worker 1
+	// must steal worker 0's share.
+	var executed atomic.Uint64
+	for i := 0; i < 40; i++ {
+		if err := p.Submit(func(_ int, m *fakeMachine) error {
+			executed.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for worker 1 to finish everything stealable.
+	deadline := time.After(10 * time.Second)
+	for executed.Load() != 40 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of 40 requests executed while worker 0 blocked", executed.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	stats, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers[1].Steals == 0 {
+		t.Error("worker 1 never stole despite worker 0 being blocked")
+	}
+	if stats.Requests != 41 {
+		t.Errorf("stats.Requests = %d, want 41", stats.Requests)
+	}
+}
+
+// TestRequestErrorsAreCountedAndReturned checks error accounting.
+func TestRequestErrorsAreCountedAndReturned(t *testing.T) {
+	p := newFakePool(t, 2, 8)
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := p.Submit(func(int, *fakeMachine) error {
+			if i%3 == 0 {
+				return boom
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := p.Close()
+	if !errors.Is(err, boom) {
+		t.Errorf("Close error = %v, want boom", err)
+	}
+	if stats.Errors != 4 {
+		t.Errorf("stats.Errors = %d, want 4", stats.Errors)
+	}
+	if stats.Requests != 10 {
+		t.Errorf("stats.Requests = %d, want 10 (errors still count as served)", stats.Requests)
+	}
+}
+
+// TestBootFailurePropagates checks that a failing boot aborts New.
+func TestBootFailurePropagates(t *testing.T) {
+	_, err := New(Config{Workers: 3}, func(w int) (*fakeMachine, error) {
+		if w == 2 {
+			return nil, errors.New("no more frames")
+		}
+		return &fakeMachine{id: w}, nil
+	})
+	if err == nil || err.Error() != "fleet: booting machine 2: no more frames" {
+		t.Errorf("New error = %v", err)
+	}
+}
+
+// TestBoundedQueueBlocksSubmit checks the submission bound: with all
+// workers blocked, at most Queue requests are accepted before Submit
+// blocks, and everything completes once the workers resume.
+func TestBoundedQueueBlocksSubmit(t *testing.T) {
+	p := newFakePool(t, 2, 4)
+	release := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		if err := p.SubmitTo(w, func(int, *fakeMachine) error {
+			<-release
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accepted := make(chan int, 1)
+	go func() {
+		n := 0
+		for i := 0; i < 20; i++ {
+			if err := p.Submit(func(int, *fakeMachine) error { return nil }); err != nil {
+				break
+			}
+			n++
+		}
+		accepted <- n
+	}()
+	select {
+	case n := <-accepted:
+		t.Fatalf("all %d submissions accepted despite blocked workers and bound 4", n)
+	case <-time.After(50 * time.Millisecond):
+		// Submit is blocking at the bound, as it should.
+	}
+	close(release)
+	if n := <-accepted; n != 20 {
+		t.Fatalf("only %d of 20 submissions accepted after release", n)
+	}
+	stats, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 22 {
+		t.Errorf("stats.Requests = %d, want 22", stats.Requests)
+	}
+	if stats.QueueHighWater > 4 {
+		t.Errorf("queue high water %d exceeds bound 4", stats.QueueHighWater)
+	}
+}

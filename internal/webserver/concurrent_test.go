@@ -1,0 +1,81 @@
+package webserver
+
+import (
+	"testing"
+)
+
+// TestFleetN1MatchesSerialThroughput pins the fleet's N=1 case to the
+// serial path: one fleet machine serving the same request sequence
+// must report a bit-identical rate for every model, because the
+// machine boots identically, executes identically, and the rate comes
+// from the same span through the same formula.
+func TestFleetN1MatchesSerialThroughput(t *testing.T) {
+	const requests = 30
+	for _, m := range []Model{Static, CGI, FastCGI, LibCGI, LibCGIProtected} {
+		serial := newServer(t, 28)
+		want, err := serial.Throughput(m, requests)
+		if err != nil {
+			t.Fatalf("%v serial: %v", m, err)
+		}
+		got, err := ServeConcurrent(28, m, 1, requests)
+		if err != nil {
+			t.Fatalf("%v fleet: %v", m, err)
+		}
+		if got.AggregateReqPerSec != want {
+			t.Errorf("%v: fleet N=1 rate %v != serial %v (must be bit-identical)", m, got.AggregateReqPerSec, want)
+		}
+		if got.PerWorkerRequests[0] != requests {
+			t.Errorf("%v: worker 0 served %d of %d", m, got.PerWorkerRequests[0], requests)
+		}
+	}
+}
+
+// TestFleetAggregateScalesLinearly checks the point of the fleet: N
+// independent machines have N times the simulated serving capacity.
+func TestFleetAggregateScalesLinearly(t *testing.T) {
+	const requests = 40
+	single, err := ServeConcurrent(28, LibCGIProtected, 1, requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := ServeConcurrent(28, LibCGIProtected, 4, requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := four.AggregateReqPerSec / single.AggregateReqPerSec; ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("4-worker aggregate = %.1f req/s, single = %.1f: ratio %.2f, want ~4",
+			four.AggregateReqPerSec, single.AggregateReqPerSec, ratio)
+	}
+	// Round-robin placement: every machine served its share.
+	for w, n := range four.PerWorkerRequests {
+		if n != requests/4 {
+			t.Errorf("worker %d served %d, want %d", w, n, requests/4)
+		}
+	}
+}
+
+// TestFleetReusedAcrossModels mirrors the Table 3 harness: one fleet
+// serving all five models in sequence, each span measured separately.
+func TestFleetReusedAcrossModels(t *testing.T) {
+	f, err := NewFleet(28, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var static, cgi float64
+	for _, m := range []Model{Static, CGI} {
+		res, err := f.Serve(m, 20)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		switch m {
+		case Static:
+			static = res.AggregateReqPerSec
+		case CGI:
+			cgi = res.AggregateReqPerSec
+		}
+	}
+	if static <= cgi {
+		t.Errorf("static (%.0f) must outrun CGI (%.0f) in aggregate too", static, cgi)
+	}
+}

@@ -252,13 +252,27 @@ func (srv *Server) Throughput(m Model, n int) (float64, error) {
 			return 0, err
 		}
 	}
-	cyc := k.Clock.Cycles() - start
+	return srv.SustainedRate(k.Clock.Cycles()-start, n), nil
+}
+
+// SustainedRate converts a measured span of cyc simulated cycles over
+// n requests into the sustained requests/second rate: the CPU-bound
+// rate capped by this server's client link (response body plus ~350
+// bytes of HTTP framing per request). It is shared by the serial
+// Throughput path and the fleet's per-worker accounting so both
+// produce bit-identical rates from the same span.
+func (srv *Server) SustainedRate(cyc float64, n int) float64 {
+	k := srv.S.K
 	secs := k.Clock.Micros(cyc) / 1e6 / float64(n)
 	cpuRate := 1 / secs
 	wireBytes := float64(srv.FileSize) + 350
 	netRate := srv.NetBandwidthMbps * 1e6 / 8 / wireBytes
 	if netRate < cpuRate {
-		return netRate, nil
+		return netRate
 	}
-	return cpuRate, nil
+	return cpuRate
 }
+
+// SimCycles reports the simulated clock of this server's machine,
+// implementing fleet.Machine so servers can be fleet workers.
+func (srv *Server) SimCycles() float64 { return srv.S.K.Clock.Cycles() }
