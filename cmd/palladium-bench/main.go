@@ -11,6 +11,7 @@
 //	palladium-bench -ablation      # design-choice ablations
 //	palladium-bench -interp        # interpreter block-cache/TLB counters
 //	palladium-bench -fleet         # concurrent machine-fleet scaling curve
+//	palladium-bench -snapshot      # template-boot+clone vs serial fleet boots
 package main
 
 import (
@@ -31,13 +32,15 @@ func main() {
 	ablation := flag.Bool("ablation", false, "regenerate only the design ablations")
 	interp := flag.Bool("interp", false, "report interpreter block-cache and TLB counters")
 	fleetRun := flag.Bool("fleet", false, "run the Table 3 workload through a concurrent machine fleet")
-	workers := flag.String("workers", "1,2,4,8", "comma-separated fleet worker counts for -fleet")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated fleet worker counts for -fleet and -snapshot")
 	fleetJSON := flag.String("fleet-json", "", "write the -fleet report to this JSON file")
+	snapshotRun := flag.Bool("snapshot", false, "compare template-boot+clone against serial fleet boots")
+	snapshotJSON := flag.String("snapshot-json", "BENCH_snapshot.json", "write the -snapshot report to this JSON file")
 	requests := flag.Int("requests", 100, "requests per Table 3 cell")
 	calls := flag.Int("calls", 1000, "protected calls for the -interp workload")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun
+	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "palladium-bench:", err)
 		os.Exit(1)
@@ -117,6 +120,26 @@ func main() {
 				fail(err)
 			}
 			if err := os.WriteFile(*fleetJSON, append(b, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *snapshotRun {
+		counts, err := parseWorkers(*workers)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := experiments.MeasureSnapshot(28, *requests, counts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderSnapshot(os.Stdout, rep)
+		if *snapshotJSON != "" {
+			b, err := json.MarshalIndent(rep, "", " ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*snapshotJSON, append(b, '\n'), 0o644); err != nil {
 				fail(err)
 			}
 		}

@@ -18,6 +18,13 @@ import (
 // 4.5.2 the prototype performs no cleanup beyond resource reclamation.
 var ErrKernelExtensionAborted = errors.New("palladium: kernel extension aborted")
 
+// ErrKernelExtensionRolledBack reports that a transactional invocation
+// (InvokeTx) hit a protection fault or time-limit overrun and the
+// whole machine was restored to its pre-call state: memory, clock,
+// page tables, descriptor tables and kernel bookkeeping are exactly as
+// before the call, and the extension segment stays alive.
+var ErrKernelExtensionRolledBack = errors.New("palladium: kernel extension rolled back")
+
 // errKernelReturn is the sentinel produced by the kernel-side return
 // gate: the extension finished and control is back in the kernel.
 var errKernelReturn = errors.New("palladium: kernel extension returned")
@@ -53,6 +60,7 @@ type ExtSegment struct {
 	Data  mmu.Selector
 
 	next    uint32 // module placement cursor (segment-relative)
+	ranges  *rangeList
 	mapped  map[uint32]bool
 	modules []*loader.Image
 	stubs   *stubArena // per-segment Transfer stubs (run at SPL 1)
@@ -120,6 +128,7 @@ func (s *System) NewExtSegment(name string, size uint32) (*ExtSegment, error) {
 		S: s, Name: name, Base: base, Limit: size - 1,
 		Code: code, Data: data,
 		next:   segModuleOff,
+		ranges: newRangeList(),
 		mapped: make(map[uint32]bool),
 	}
 	// Scratch + stack pages ("that stack is allocated when the first
@@ -155,17 +164,23 @@ func (seg *ExtSegment) physAt(off uint32) (uint32, error) {
 
 // --- loader.Space implementation (segment-relative addresses) ---
 
-// AllocRange implements loader.Space inside the extension segment.
+// AllocRange implements loader.Space inside the extension segment:
+// freed ranges are reused first (first fit), then the bump cursor
+// extends the live area.
 func (seg *ExtSegment) AllocRange(size uint32, name string, writable, ppl1 bool) (uint32, error) {
 	size = (size + mem.PageMask) &^ uint32(mem.PageMask)
 	if size == 0 {
 		size = mem.PageSize
 	}
-	off := seg.next
-	if off+size-1 > seg.Limit {
-		return 0, fmt.Errorf("palladium: segment %s full (need %#x at %#x)", seg.Name, size, off)
+	off, reused := seg.ranges.takeFree(size)
+	if !reused {
+		off = seg.next
+		if off+size-1 > seg.Limit {
+			return 0, fmt.Errorf("palladium: segment %s full (need %#x at %#x)", seg.Name, size, off)
+		}
+		seg.next += size
 	}
-	seg.next += size
+	seg.ranges.noteAlloc(off, size)
 	for o := off; o < off+size; o += mem.PageSize {
 		if err := seg.mapPage(o); err != nil {
 			return 0, err
@@ -174,9 +189,13 @@ func (seg *ExtSegment) AllocRange(size uint32, name string, writable, ppl1 bool)
 	return off, nil
 }
 
-// FreeRange implements loader.Space (segment memory is reclaimed only
-// with the whole segment, as in the prototype).
-func (seg *ExtSegment) FreeRange(uint32) error { return nil }
+// FreeRange implements loader.Space: the range becomes reusable by
+// later AllocRange calls. (The paper's prototype reclaimed segment
+// memory only with the whole segment; a production loader cannot
+// afford that leak across repeated module load/unload cycles.) The
+// backing pages stay mapped — the segment's pages are a stable
+// resource; only placement within the segment is recycled.
+func (seg *ExtSegment) FreeRange(addr uint32) error { return seg.ranges.release(addr) }
 
 // Write implements loader.Space.
 func (seg *ExtSegment) Write(addr uint32, b []byte) error {
@@ -228,14 +247,24 @@ func (seg *ExtSegment) SetWritable(addr, size uint32, writable bool) error {
 type kernelTextSpace struct{ s *System }
 
 func (ks *kernelTextSpace) AllocRange(size uint32, name string, writable, ppl1 bool) (uint32, error) {
-	lin, err := ks.s.K.KernelAlloc((size+mem.PageMask)&^uint32(mem.PageMask), mem.PageSize)
+	size = (size + mem.PageMask) &^ uint32(mem.PageMask)
+	if off, ok := ks.s.ktRanges.takeFree(size); ok {
+		ks.s.ktRanges.noteAlloc(off, size)
+		return off, nil
+	}
+	lin, err := ks.s.K.KernelAlloc(size, mem.PageSize)
 	if err != nil {
 		return 0, err
 	}
-	return lin - kernel.KernelBase, nil
+	off := lin - kernel.KernelBase
+	ks.s.ktRanges.noteAlloc(off, size)
+	return off, nil
 }
 
-func (ks *kernelTextSpace) FreeRange(uint32) error { return nil }
+// FreeRange recycles a kernel-text range for later AllocRange calls
+// (the kernel heap itself only grows; this list is the reuse layer on
+// top of it).
+func (ks *kernelTextSpace) FreeRange(addr uint32) error { return ks.s.ktRanges.release(addr) }
 
 func (ks *kernelTextSpace) phys(off uint32) (uint32, error) {
 	lin := kernel.KernelBase + off
@@ -393,6 +422,22 @@ func (s *System) WriteShared(seg *ExtSegment, off uint32, b []byte) error {
 // through the return gate. A segment violation or time-limit overrun
 // aborts the extension.
 func (f *KernelExtensionFunc) Invoke(arg uint32) (uint32, error) {
+	return f.invoke(arg, false)
+}
+
+// InvokeTx runs the extension as a transaction: the whole machine
+// (memory image, CPU, MMU, clock, kernel bookkeeping) is snapshotted
+// before the call, and a protection fault or time-limit overrun rolls
+// everything back to that snapshot instead of aborting the segment.
+// The error wraps ErrKernelExtensionRolledBack; the segment remains
+// alive and the next invocation starts from known-good state. A
+// successful call releases the snapshot and is bit-identical in every
+// simulated metric to a plain Invoke.
+func (f *KernelExtensionFunc) InvokeTx(arg uint32) (uint32, error) {
+	return f.invoke(arg, true)
+}
+
+func (f *KernelExtensionFunc) invoke(arg uint32, tx bool) (uint32, error) {
 	s := f.Seg.S
 	if f.Seg.aborted {
 		return 0, ErrKernelExtensionAborted
@@ -401,6 +446,22 @@ func (f *KernelExtensionFunc) Invoke(arg uint32) (uint32, error) {
 	p := k.Current()
 	if p == nil {
 		return 0, fmt.Errorf("palladium: no current process (kernel extensions run on the caller's kernel stack)")
+	}
+	var snap *SystemSnapshot
+	if tx {
+		snap = s.Snapshot()
+		defer snap.Release()
+	}
+	// fail routes an abort-worthy outcome through the active policy:
+	// transactional calls restore the pre-call state and keep the
+	// segment alive; plain calls abort the segment (Section 4.5.2).
+	fail := func(cause error) error {
+		if tx {
+			s.Restore(snap)
+			return fmt.Errorf("%w: %v", ErrKernelExtensionRolledBack, cause)
+		}
+		f.Seg.abort(s)
+		return fmt.Errorf("%w: %v", ErrKernelExtensionAborted, cause)
 	}
 	m := k.Machine
 	saved := m.SaveContext()
@@ -445,8 +506,7 @@ func (f *KernelExtensionFunc) Invoke(arg uint32) (uint32, error) {
 				return m.Reg(isa.EAX), nil
 			}
 			if errors.Is(res.Err, ErrTimeLimit) {
-				f.Seg.abort(s)
-				return 0, fmt.Errorf("%w: %v", ErrKernelExtensionAborted, ErrTimeLimit)
+				return 0, fail(ErrTimeLimit)
 			}
 			return 0, res.Err
 		case cpu.StopFault:
@@ -454,8 +514,7 @@ func (f *KernelExtensionFunc) Invoke(arg uint32) (uint32, error) {
 			case kernel.Retry:
 				continue
 			case kernel.KernelExtensionFault:
-				f.Seg.abort(s)
-				return 0, fmt.Errorf("%w: %v", ErrKernelExtensionAborted, res.Fault)
+				return 0, fail(res.Fault)
 			default:
 				return 0, res.Fault
 			}

@@ -19,6 +19,16 @@ type stubArena struct {
 	end   uint32
 }
 
+// rebind copies the arena descriptor onto a cloned machine's space;
+// the stub code itself already lives in the clone's (COW-shared)
+// memory at the same addresses.
+func (a *stubArena) rebind(space loader.Space) *stubArena {
+	if a == nil {
+		return nil
+	}
+	return &stubArena{space: space, base: a.base, next: a.next, end: a.end}
+}
+
 func newStubArena(space loader.Space, name string, size uint32) (*stubArena, error) {
 	base, err := space.AllocRange(size, name, false, true)
 	if err != nil {

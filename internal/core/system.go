@@ -45,6 +45,10 @@ type System struct {
 	// which kernel extensions return to the kernel.
 	kernRetGate uint16
 	kernPrep    *stubArena
+
+	// ktRanges tracks kernel-text allocations handed to loader spaces
+	// so FreeRange can recycle them (the kernel heap only grows).
+	ktRanges *rangeList
 }
 
 // NewSystem boots a Palladium system under the given cost model
@@ -55,9 +59,10 @@ func NewSystem(model *cycles.Model) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		K:       k,
-		nextSeg: kernel.ExtSegBase,
-		eft:     make(map[string]*KernelExtensionFunc),
+		K:        k,
+		nextSeg:  kernel.ExtSegBase,
+		eft:      make(map[string]*KernelExtensionFunc),
+		ktRanges: newRangeList(),
 	}
 	if err := s.initKernelMechanism(); err != nil {
 		return nil, err

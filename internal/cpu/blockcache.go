@@ -169,6 +169,20 @@ func (m *Machine) invalidateBlocksByPages(pages uint64) {
 	}
 }
 
+// clearBlockCache empties the decoded-block cache and resets the
+// invalidation envelope; used by snapshot restore (the restored image
+// may hold different code behind the same physical addresses).
+func (m *Machine) clearBlockCache() {
+	if m.liveBlocks == 0 {
+		return
+	}
+	for i := range m.blocks {
+		m.blocks[i] = nil
+	}
+	m.liveBlocks = 0
+	m.blockMin, m.blockMax = 0, 0
+}
+
 // BlockCacheStats reports decoded-block cache counters: cached-block
 // executions, block builds, and explicit invalidations.
 func (m *Machine) BlockCacheStats() (hits, builds, invalidations uint64) {

@@ -13,6 +13,7 @@ package cpu
 
 import (
 	"fmt"
+	"maps"
 
 	"repro/internal/cycles"
 	"repro/internal/isa"
@@ -113,8 +114,14 @@ type Machine struct {
 	// IDT maps interrupt vectors to gate descriptors.
 	IDT map[uint8]mmu.Descriptor
 
-	code     map[uint32]*isa.Instr // physical address -> instruction
-	services map[uint32]*Service   // linear address -> trusted endpoint
+	code map[uint32]*isa.Instr // physical address -> instruction
+	// codeShared marks the code map as referenced by a snapshot or a
+	// clone: the next InstallCode/RemoveCode copies it first. The map
+	// is by far the largest machine table (one entry per installed
+	// instruction), and it changes only on code install/remove, so
+	// sharing it keeps Snapshot/Restore O(small) on the common path.
+	codeShared bool
+	services   map[uint32]*Service // linear address -> trusted endpoint
 
 	// Breakpoints are linear addresses at which Run stops *before*
 	// executing; used to return control to trusted callers.
@@ -218,14 +225,26 @@ func (m *Machine) Reg(r isa.Reg) uint32 { return m.Regs[r] }
 // SetReg sets register r.
 func (m *Machine) SetReg(r isa.Reg, v uint32) { m.Regs[r] = v }
 
+// mutableCode returns the code map safe to mutate, splitting it off
+// first when a snapshot or clone still references it (copy-on-write
+// at map granularity, mirroring the frame store's discipline).
+func (m *Machine) mutableCode() map[uint32]*isa.Instr {
+	if m.codeShared {
+		m.code = maps.Clone(m.code)
+		m.codeShared = false
+	}
+	return m.code
+}
+
 // InstallCode writes a sequence of instructions at the given physical
 // address (one per 4-byte slot) and stamps a recognizable marker byte
 // into physical memory so data reads of code see something.
 func (m *Machine) InstallCode(pa uint32, text []isa.Instr) {
+	code := m.mutableCode()
 	var pages uint64
 	for i := range text {
 		addr := pa + uint32(i)*isa.InstrSlot
-		m.code[addr] = &text[i]
+		code[addr] = &text[i]
 		m.Phys.Write8(addr, byte(text[i].Op))
 		pages |= pageBloomBit(addr)
 	}
@@ -234,10 +253,11 @@ func (m *Machine) InstallCode(pa uint32, text []isa.Instr) {
 
 // RemoveCode drops n instruction slots starting at pa.
 func (m *Machine) RemoveCode(pa uint32, n int) {
+	code := m.mutableCode()
 	var pages uint64
 	for i := 0; i < n; i++ {
 		addr := pa + uint32(i)*isa.InstrSlot
-		delete(m.code, addr)
+		delete(code, addr)
 		pages |= pageBloomBit(addr)
 	}
 	m.invalidateBlocksByPages(pages)

@@ -228,6 +228,13 @@ func (c *Clock) Cycles() float64 { return c.cycles }
 // Reset zeroes the clock.
 func (c *Clock) Reset() { c.cycles = 0 }
 
+// Clone copies the clock (reading and frequency) for a cloned machine.
+func (c *Clock) Clone() *Clock { return &Clock{cycles: c.cycles, mhz: c.mhz} }
+
+// SetCycles rewinds (or forwards) the clock to an absolute reading;
+// used by machine snapshot/restore, never by simulated code.
+func (c *Clock) SetCycles(v float64) { c.cycles = v }
+
 // MHz returns the clock frequency.
 func (c *Clock) MHz() float64 { return c.mhz }
 

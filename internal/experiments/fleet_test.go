@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"testing"
+
+	"repro/internal/webserver"
 )
 
 // TestTable3ConcurrentN1BitIdentical is the acceptance anchor for the
@@ -30,6 +32,64 @@ func TestTable3ConcurrentN1BitIdentical(t *testing.T) {
 		if f.CGI != s.CGI || f.FastCGI != s.FastCGI || f.LibCGIProt != s.LibCGIProt ||
 			f.LibCGIUnprot != s.LibCGIUnprot || f.WebServer != s.WebServer {
 			t.Errorf("size %d: fleet N=1 row %+v != serial %+v (must be bit-identical)", s.Size, f, s)
+		}
+	}
+}
+
+// TestTable3CloneFleetN8BitIdentical extends the N=1 anchor to the
+// clone-booted fleet: 8 workers cloned from one template must serve
+// Table 3 exactly as 8 serially booted machines do — every worker's
+// sustained rate bit-identical for every model — and the aggregate row
+// must match a serial machine's rate scaled by the worker count (each
+// of the 8 identical machines serves requests/8 of the per-cell load).
+func TestTable3CloneFleetN8BitIdentical(t *testing.T) {
+	const (
+		size     = 28
+		workers  = 8
+		requests = 64 // 8 per worker under pinned round-robin
+	)
+	cloned, err := webserver.NewFleet(size, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloned.Close()
+	serialFleet, err := webserver.NewFleetSerial(size, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serialFleet.Close()
+
+	// A lone serial machine serving the same per-worker request count
+	// anchors the fleet rates back to the Table 3 path.
+	solo, err := webserver.BootServer(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range fleetModels {
+		rc, err := cloned.Serve(m, requests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := serialFleet.Serve(m, requests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloRate, err := solo.Throughput(m, requests/workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < workers; w++ {
+			if rc.PerWorkerReqPerSec[w] != rs.PerWorkerReqPerSec[w] {
+				t.Errorf("%v worker %d: clone-boot %v != serial-boot %v",
+					m, w, rc.PerWorkerReqPerSec[w], rs.PerWorkerReqPerSec[w])
+			}
+			if rc.PerWorkerReqPerSec[w] != soloRate {
+				t.Errorf("%v worker %d: fleet rate %v != serial Table 3 machine %v",
+					m, w, rc.PerWorkerReqPerSec[w], soloRate)
+			}
+		}
+		if rc.AggregateReqPerSec != rs.AggregateReqPerSec {
+			t.Errorf("%v aggregate: clone-boot %v != serial-boot %v", m, rc.AggregateReqPerSec, rs.AggregateReqPerSec)
 		}
 	}
 }

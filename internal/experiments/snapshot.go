@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/fleet"
+	"repro/internal/isa"
+	"repro/internal/webserver"
+)
+
+// SnapshotBootPoint compares booting a fleet of N web-serving machines
+// serially against booting ONE template and cloning the rest.
+type SnapshotBootPoint struct {
+	Workers int `json:"workers"`
+
+	// Host wall-clock seconds; the simulated metrics of both fleets
+	// are bit-identical (see BitIdentical).
+	SerialBootSeconds   float64 `json:"serial_boot_seconds"`
+	TemplateBootSeconds float64 `json:"template_boot_seconds"`
+	CloneSeconds        float64 `json:"clone_seconds"`
+	CloneBootSeconds    float64 `json:"clone_boot_seconds"` // template + clones
+	Speedup             float64 `json:"speedup"`
+
+	// BitIdentical reports that every cloned worker's sustained Table 3
+	// rate equals the serially booted machine's rate bit-for-bit, for
+	// every serving model.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// SnapshotReport is the BENCH_snapshot.json payload.
+type SnapshotReport struct {
+	Note     string              `json:"note"`
+	FileSize uint32              `json:"file_size_bytes"`
+	Requests int                 `json:"requests_per_model"`
+	Boot     []SnapshotBootPoint `json:"boot"`
+
+	// RollbackVerified reports that a kernel extension which faulted
+	// under InvokeTx left the machine bit-identical (memory
+	// fingerprint, clock) to its pre-call snapshot and the segment
+	// stayed alive and invocable.
+	RollbackVerified bool `json:"rollback_verified"`
+}
+
+// faultingExtSrc escapes its 16 MB extension segment after scribbling
+// on its own data, so a rollback must undo both the scribble and every
+// kernel-side cost charged on the way.
+const faultingExtSrc = `
+	.global scribble_escape
+	.text
+	scribble_escape:
+		mov [counter], 777
+		mov eax, [0x2000000]   ; 32 MB: beyond the 16 MB segment
+		ret
+	.data
+	.global counter
+	counter: .word 0
+`
+
+// MeasureSnapshot produces the snapshot/clone report: boot-time
+// scaling points for each worker count plus the rollback verification.
+func MeasureSnapshot(fileSize uint32, requests int, workerCounts []int) (SnapshotReport, error) {
+	rep := SnapshotReport{
+		Note: "Template-boot+clone vs serial boots for a web-serving machine fleet. Seconds are host " +
+			"wall-clock; every simulated metric of a cloned machine is bit-identical to a serially " +
+			"booted one (bit_identical checks the per-worker Table 3 rates).",
+		FileSize: fileSize,
+		Requests: requests,
+	}
+	for _, n := range workerCounts {
+		pt, err := measureBootPoint(fileSize, requests, n)
+		if err != nil {
+			return rep, err
+		}
+		rep.Boot = append(rep.Boot, pt)
+	}
+	ok, err := verifyRollback()
+	if err != nil {
+		return rep, err
+	}
+	rep.RollbackVerified = ok
+	return rep, nil
+}
+
+func measureBootPoint(fileSize uint32, requests, workers int) (SnapshotBootPoint, error) {
+	pt := SnapshotBootPoint{Workers: workers}
+
+	// Serial baseline: N full boots.
+	start := time.Now()
+	serial, err := webserver.NewFleetSerial(fileSize, workers)
+	if err != nil {
+		return pt, err
+	}
+	pt.SerialBootSeconds = time.Since(start).Seconds()
+
+	// Template + clones, with the cost split measured inside the ONE
+	// real fleet construction (not from a throwaway extra boot, whose
+	// timing could contradict the total).
+	var tmplSec, cloneSec float64
+	start = time.Now()
+	pool, err := fleet.NewFromTemplate(fleet.Config{Workers: workers},
+		func() (*webserver.Server, error) {
+			t0 := time.Now()
+			s, berr := webserver.BootServer(fileSize)
+			tmplSec = time.Since(t0).Seconds()
+			return s, berr
+		},
+		func(_ int, tmpl *webserver.Server) (*webserver.Server, error) {
+			t0 := time.Now()
+			c, cerr := tmpl.Clone()
+			cloneSec += time.Since(t0).Seconds()
+			return c, cerr
+		})
+	if err != nil {
+		serial.Close()
+		return pt, err
+	}
+	cloned := &webserver.Fleet{Pool: pool, FileSize: fileSize}
+	pt.CloneBootSeconds = time.Since(start).Seconds()
+	pt.TemplateBootSeconds = tmplSec
+	pt.CloneSeconds = cloneSec
+	if pt.CloneBootSeconds > 0 {
+		pt.Speedup = pt.SerialBootSeconds / pt.CloneBootSeconds
+	}
+
+	// Bit-identity: every worker of both fleets must produce the same
+	// sustained rate for every model. A serving error fails the check
+	// AND surfaces as the returned error — it must never pass silently.
+	pt.BitIdentical = true
+	for _, m := range fleetModels {
+		rs, serr := serial.Serve(m, requests)
+		if serr != nil {
+			err = fmt.Errorf("experiments: serial fleet %v: %w", m, serr)
+			pt.BitIdentical = false
+			break
+		}
+		rc, cerr := cloned.Serve(m, requests)
+		if cerr != nil {
+			err = fmt.Errorf("experiments: cloned fleet %v: %w", m, cerr)
+			pt.BitIdentical = false
+			break
+		}
+		for w := 0; w < workers; w++ {
+			if rs.PerWorkerReqPerSec[w] != rc.PerWorkerReqPerSec[w] {
+				pt.BitIdentical = false
+			}
+		}
+	}
+	if cerr := serial.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := cloned.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return pt, err
+}
+
+// verifyRollback runs the scribble-and-escape extension under InvokeTx
+// and checks the machine came back bit-identical to its pre-call
+// state, with the segment alive.
+func verifyRollback() (bool, error) {
+	s, err := core.NewSystem(cycles.Measured())
+	if err != nil {
+		return false, err
+	}
+	if _, err := s.K.CreateProcess(); err != nil {
+		return false, err
+	}
+	seg, err := s.NewExtSegment("tx", 0)
+	if err != nil {
+		return false, err
+	}
+	if _, err := s.Insmod(seg, isa.MustAssemble("scribbler", faultingExtSrc)); err != nil {
+		return false, err
+	}
+	f, ok := s.ExtensionFunction("scribble_escape")
+	if !ok {
+		return false, fmt.Errorf("experiments: scribble_escape not registered")
+	}
+	beforeMem := s.K.Phys.Fingerprint()
+	beforeClock := s.K.Clock.Cycles()
+	if _, err := f.InvokeTx(0); !errors.Is(err, core.ErrKernelExtensionRolledBack) {
+		return false, fmt.Errorf("experiments: InvokeTx = %v, want rollback", err)
+	}
+	return s.K.Phys.Fingerprint() == beforeMem &&
+		s.K.Clock.Cycles() == beforeClock &&
+		!seg.Aborted(), nil
+}
+
+// RenderSnapshot prints the boot-time comparison.
+func RenderSnapshot(w io.Writer, rep SnapshotReport) {
+	fmt.Fprintf(w, "Snapshot/clone boot: template-boot+clone vs serial boots (%d-byte file, %d requests/model)\n",
+		rep.FileSize, rep.Requests)
+	fmt.Fprintf(w, "%-8s %12s %12s %9s %13s\n", "Workers", "serial(s)", "cloned(s)", "speedup", "bit-identical")
+	for _, p := range rep.Boot {
+		fmt.Fprintf(w, "%-8d %12.4f %12.4f %8.1fx %13v\n",
+			p.Workers, p.SerialBootSeconds, p.CloneBootSeconds, p.Speedup, p.BitIdentical)
+	}
+	fmt.Fprintf(w, "rollback verified: %v\n", rep.RollbackVerified)
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeasureSnapshotReport checks the BENCH_snapshot.json generator:
+// clone-booted fleets must be flagged bit-identical and the rollback
+// verification must pass. (The >=5x speedup at 8 workers is asserted
+// by the committed BENCH_snapshot.json run, not here: wall-clock
+// ratios at test scale are noisy.)
+func TestMeasureSnapshotReport(t *testing.T) {
+	rep, err := MeasureSnapshot(28, 20, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Boot) != 2 {
+		t.Fatalf("boot points = %d, want 2", len(rep.Boot))
+	}
+	for _, pt := range rep.Boot {
+		if !pt.BitIdentical {
+			t.Errorf("%d workers: clone-booted fleet not bit-identical to serial boots", pt.Workers)
+		}
+		if pt.SerialBootSeconds <= 0 || pt.CloneBootSeconds <= 0 {
+			t.Errorf("%d workers: non-positive boot timings %+v", pt.Workers, pt)
+		}
+	}
+	if !rep.RollbackVerified {
+		t.Error("rollback verification failed")
+	}
+	var b strings.Builder
+	RenderSnapshot(&b, rep)
+	if !strings.Contains(b.String(), "rollback verified: true") {
+		t.Errorf("render missing rollback line:\n%s", b.String())
+	}
+}

@@ -161,6 +161,27 @@ func New[M Machine](cfg Config, boot func(worker int) (M, error)) (*Pool[M], err
 	return p, nil
 }
 
+// NewFromTemplate boots ONE template machine and derives the other
+// workers by cloning it, replacing cfg.Workers serial boots with a
+// single boot plus cfg.Workers-1 clones. The template itself serves as
+// worker 0. Because a clone's simulated state is bit-identical to its
+// source's, a clone-booted fleet serves exactly as a serially booted
+// one — the only difference is wall-clock boot time (see
+// BENCH_snapshot.json). All clones are taken up front, before any
+// worker goroutine starts, so the template is quiescent while cloned.
+func NewFromTemplate[M Machine](cfg Config, bootTemplate func() (M, error), clone func(worker int, template M) (M, error)) (*Pool[M], error) {
+	tmpl, err := bootTemplate()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: booting template machine: %w", err)
+	}
+	return New(cfg, func(w int) (M, error) {
+		if w == 0 {
+			return tmpl, nil
+		}
+		return clone(w, tmpl)
+	})
+}
+
 // Workers returns the pool size.
 func (p *Pool[M]) Workers() int { return len(p.machines) }
 

@@ -113,6 +113,12 @@ type Kernel struct {
 	nextSvcAddr uint32
 	nextGate    int
 
+	// svcSyscallAddr / svcKSvcAddr are the service addresses of the two
+	// kernel-owned trusted endpoints; Clone re-registers handlers bound
+	// to the cloned kernel at these addresses.
+	svcSyscallAddr uint32
+	svcKSvcAddr    uint32
+
 	// ExtTimeLimit is the per-invocation extension CPU budget in
 	// cycles ("a system parameter set by the system administrator").
 	ExtTimeLimit float64
@@ -177,6 +183,7 @@ func New(model *cycles.Model) (*Kernel, error) {
 	// gate is DPL 3 (reachable by everyone); the kernel-service gate
 	// is DPL 1: reachable by kernel extensions, not by user code.
 	svcSyscall := k.allocServiceAddr()
+	k.svcSyscallAddr = svcSyscall
 	machine.IDT[VecSyscall] = mmu.Descriptor{
 		Kind: mmu.SegIntGate, DPL: 3, Present: true,
 		GateSel: KCodeSel, GateOff: svcSyscall - KernelBase,
@@ -185,6 +192,7 @@ func New(model *cycles.Model) (*Kernel, error) {
 		Name: "syscall", Kind: cpu.ServiceInt, Handler: k.syscallEntry,
 	})
 	svcKSvc := k.allocServiceAddr()
+	k.svcKSvcAddr = svcKSvc
 	machine.IDT[VecKernelSvc] = mmu.Descriptor{
 		Kind: mmu.SegIntGate, DPL: 1, Present: true,
 		GateSel: KCodeSel, GateOff: svcKSvc - KernelBase,
@@ -316,8 +324,15 @@ func (k *Kernel) timerTick() error {
 }
 
 // OnTimerTick registers a tick subscriber and returns a removal func.
+// Removal is bounds-checked: a snapshot rollback may truncate the
+// subscriber list under a still-pending removal (the rolled-back
+// timeline's registration no longer exists).
 func (k *Kernel) OnTimerTick(fn func() error) func() {
 	k.tickFns = append(k.tickFns, fn)
 	i := len(k.tickFns) - 1
-	return func() { k.tickFns[i] = func() error { return nil } }
+	return func() {
+		if i < len(k.tickFns) {
+			k.tickFns[i] = func() error { return nil }
+		}
+	}
 }

@@ -1,0 +1,218 @@
+package kernel
+
+import (
+	"maps"
+	"slices"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// procSave captures one process. The original *Process pointer is kept
+// so a restore rewrites the fields in place: every reference held
+// elsewhere (core.App.P, a web server's CGI helper process) stays
+// valid across rollback.
+type procSave struct {
+	p       *Process
+	val     Process
+	regions []VMRegion
+}
+
+// Snapshot captures the whole kernel: the machine (CPU + MMU + clock +
+// COW memory image) plus the kernel's own bookkeeping — process table,
+// frame allocator, heap/stack/GDT cursors, console output. Taking a
+// snapshot charges no simulated cycles.
+type Snapshot struct {
+	mach  *cpu.MachineSnapshot
+	alloc mem.AllocatorState
+
+	procs   []procSave
+	nextPID int
+	cur     *Process
+
+	nextKStack  uint32
+	nextKHeap   uint32
+	nextSvcAddr uint32
+	nextGate    int
+
+	costs        CostSheet
+	extTimeLimit float64
+	tickLen      int
+	console      []byte
+
+	syscalls       map[uint32]SyscallFn
+	kernelServices map[uint32]SyscallFn
+}
+
+// Snapshot captures the kernel state for a later Restore.
+func (k *Kernel) Snapshot() *Snapshot {
+	s := &Snapshot{
+		mach:  k.Machine.Snapshot(),
+		alloc: k.Alloc.Save(),
+
+		nextPID: k.nextPID,
+		cur:     k.cur,
+
+		nextKStack:  k.nextKStack,
+		nextKHeap:   k.nextKHeap,
+		nextSvcAddr: k.nextSvcAddr,
+		nextGate:    k.nextGate,
+
+		costs:        *k.Costs,
+		extTimeLimit: k.ExtTimeLimit,
+		tickLen:      len(k.tickFns),
+		console:      slices.Clone(k.ConsoleOut),
+
+		syscalls:       maps.Clone(k.syscalls),
+		kernelServices: maps.Clone(k.kernelServices),
+	}
+	for _, p := range k.procs {
+		s.procs = append(s.procs, procSave{p: p, val: *p, regions: copyRegions(p.Regions)})
+	}
+	return s
+}
+
+func copyRegions(rs []*VMRegion) []VMRegion {
+	out := make([]VMRegion, len(rs))
+	for i, r := range rs {
+		out[i] = *r
+	}
+	return out
+}
+
+func regionPtrs(rs []VMRegion) []*VMRegion {
+	out := make([]*VMRegion, len(rs))
+	for i := range rs {
+		r := rs[i]
+		out[i] = &r
+	}
+	return out
+}
+
+// Restore rewinds the kernel (and its machine) to the snapshot.
+// Processes created after the snapshot vanish; processes alive at the
+// snapshot are restored field-by-field into their original structs.
+// The snapshot remains valid for further restores.
+func (k *Kernel) Restore(s *Snapshot) {
+	k.Machine.Restore(s.mach)
+	k.Alloc.RestoreState(s.alloc)
+
+	k.procs = make(map[int]*Process, len(s.procs))
+	for _, ps := range s.procs {
+		*ps.p = ps.val
+		ps.p.Regions = regionPtrs(ps.regions)
+		k.procs[ps.p.PID] = ps.p
+	}
+	k.nextPID = s.nextPID
+	k.cur = s.cur
+
+	k.nextKStack = s.nextKStack
+	k.nextKHeap = s.nextKHeap
+	k.nextSvcAddr = s.nextSvcAddr
+	k.nextGate = s.nextGate
+
+	*k.Costs = s.costs
+	k.ExtTimeLimit = s.extTimeLimit
+	if len(k.tickFns) > s.tickLen {
+		k.tickFns = k.tickFns[:s.tickLen]
+	}
+	k.ConsoleOut = append(k.ConsoleOut[:0], s.console...)
+
+	k.syscalls = maps.Clone(s.syscalls)
+	k.kernelServices = maps.Clone(s.kernelServices)
+}
+
+// Release frees the snapshot's hold on the COW frame store.
+func (s *Snapshot) Release() { s.mach.Release() }
+
+// Clone derives a complete, independent kernel from this one: the
+// physical memory image is shared copy-on-write, every Go-level
+// structure (machine, MMU, descriptor tables, TLB, process table,
+// allocator) is copied, and the kernel-owned trusted endpoints
+// (syscall and kernel-service entries, the timer hook) are re-bound to
+// the clone. The clone's simulated state — clock, counters, memory —
+// is bit-identical to the source's at the moment of cloning, so a
+// clone of a freshly booted kernel is indistinguishable from a fresh
+// boot at a fraction of the wall-clock cost.
+//
+// Clone must be called while the source machine is quiescent (no
+// simulated run in progress); the clone may then be used from another
+// goroutine.
+//
+// Process.SignalHandler closures are user-owned and carried over
+// verbatim (the kernel cannot re-bind them): a handler that captures
+// Go state observes the *template's* state when a cloned process
+// faults. Fleet workloads leave handlers unset; install per-clone
+// handlers after cloning if you need per-machine signal state.
+func (k *Kernel) Clone() (*Kernel, error) {
+	phys := k.Phys.Clone()
+	clock := k.Clock.Clone()
+	mu := k.MMU.Clone(phys, clock)
+	machine := k.Machine.Clone(phys, mu, clock)
+	alloc := k.Alloc.Clone()
+	costs := *k.Costs
+
+	k2 := &Kernel{
+		Machine: machine,
+		MMU:     mu,
+		Phys:    phys,
+		Clock:   clock,
+		Model:   k.Model,
+		Alloc:   alloc,
+		Costs:   &costs,
+
+		procs:   make(map[int]*Process, len(k.procs)),
+		nextPID: k.nextPID,
+
+		kernelTemplate: mmu.AdoptAddressSpace(phys, alloc, k.kernelTemplate.CR3()),
+
+		syscalls:       maps.Clone(k.syscalls),
+		kernelServices: maps.Clone(k.kernelServices),
+
+		nextKStack:     k.nextKStack,
+		nextKHeap:      k.nextKHeap,
+		nextSvcAddr:    k.nextSvcAddr,
+		nextGate:       k.nextGate,
+		svcSyscallAddr: k.svcSyscallAddr,
+		svcKSvcAddr:    k.svcKSvcAddr,
+		ExtTimeLimit:   k.ExtTimeLimit,
+		ConsoleOut:     slices.Clone(k.ConsoleOut),
+	}
+
+	for pid, p := range k.procs {
+		p2 := *p
+		p2.Regions = regionPtrs(copyRegions(p.Regions))
+		p2.AS = mmu.AdoptAddressSpace(phys, alloc, p.AS.CR3())
+		k2.procs[pid] = &p2
+		if k.cur == p {
+			k2.cur = &p2
+		}
+	}
+
+	// Rebind the MMU's current address space to the clone's wrapper
+	// object (same CR3, same page tables — they live in the COW'd
+	// simulated memory).
+	switch space := k.MMU.Space(); {
+	case space == nil:
+		// Not booted far enough to have one; nothing to adopt.
+	case k.cur != nil && space == k.cur.AS:
+		mu.AdoptSpace(k2.cur.AS)
+	case space == k.kernelTemplate:
+		mu.AdoptSpace(k2.kernelTemplate)
+	default:
+		mu.AdoptSpace(mmu.AdoptAddressSpace(phys, alloc, space.CR3()))
+	}
+
+	// Re-register the kernel-owned trusted endpoints with handlers
+	// bound to the clone (the machine clone carried over the map
+	// entries, but those handlers close over the source kernel).
+	machine.RegisterService(k2.svcSyscallAddr, &cpu.Service{
+		Name: "syscall", Kind: cpu.ServiceInt, Handler: k2.syscallEntry,
+	})
+	machine.RegisterService(k2.svcKSvcAddr, &cpu.Service{
+		Name: "kernel-service", Kind: cpu.ServiceInt, Handler: k2.kernelServiceEntry,
+	})
+	machine.OnTick = func(*cpu.Machine) error { return k2.timerTick() }
+	return k2, nil
+}

@@ -196,3 +196,31 @@ func (d *DL) Dlclose(handle int) error {
 
 // Images lists the currently loaded images.
 func (d *DL) Images() []*Image { return d.images }
+
+// CloneFor copies the dynamic-loader state onto a cloned kernel and
+// process: every image is rebound to the clone's loader space, and the
+// handle and global-symbol tables are duplicated. The returned map
+// translates source images to their rebound counterparts so callers
+// can rewire their own references (core.App.Libc and friends).
+func (d *DL) CloneFor(k *kernel.Kernel, p *kernel.Process) (*DL, map[*Image]*Image) {
+	c := &DL{
+		K: k, P: p,
+		space:   &UserSpace{K: k, P: p},
+		globals: make(map[string]uint32, len(d.globals)),
+		handles: make(map[int]*Image, len(d.handles)),
+		nextH:   d.nextH,
+	}
+	for n, a := range d.globals {
+		c.globals[n] = a
+	}
+	imap := make(map[*Image]*Image, len(d.images))
+	for _, im := range d.images {
+		im2 := im.Rebind(c.space)
+		imap[im] = im2
+		c.images = append(c.images, im2)
+	}
+	for h, im := range d.handles {
+		c.handles[h] = imap[im]
+	}
+	return c, imap
+}

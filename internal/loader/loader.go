@@ -95,6 +95,18 @@ func (im *Image) Lookup(name string) (uint32, bool) {
 	return a, ok
 }
 
+// Rebind copies the image descriptor onto another Space (a cloned
+// machine's equivalent of the one it was loaded into). Addresses and
+// symbol tables are identical — the clone's memory holds the same
+// loaded bytes at the same addresses — only the Space used by a later
+// Unload changes. The symbol maps are shared: they are immutable after
+// Load.
+func (im *Image) Rebind(space Space) *Image {
+	c := *im
+	c.space = space
+	return &c
+}
+
 // Unload removes the module's text and releases its ranges.
 func (im *Image) Unload() error {
 	if err := im.space.RemoveText(im.TextBase, im.TextLen); err != nil {

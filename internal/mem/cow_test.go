@@ -1,0 +1,175 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotFreezesImageAndRestores(t *testing.T) {
+	p := NewPhysical()
+	p.WriteBytes(0x1000, []byte("hello"))
+	p.Write32(0x40_0000, 0xdeadbeef) // a second chunk
+	framesBefore := p.FrameCount()
+	fpBefore := p.Fingerprint()
+
+	s := p.Snapshot()
+	p.WriteBytes(0x1000, []byte("WORLD"))
+	p.Write8(0x80_0000, 7) // fresh frame after the snapshot
+	if got := string(p.ReadBytes(0x1000, 5)); got != "WORLD" {
+		t.Fatalf("post-snapshot write lost: %q", got)
+	}
+
+	p.Restore(s)
+	if got := string(p.ReadBytes(0x1000, 5)); got != "hello" {
+		t.Errorf("restore: got %q, want hello", got)
+	}
+	if p.Read32(0x40_0000) != 0xdeadbeef {
+		t.Errorf("restore lost second chunk word")
+	}
+	if p.FrameCount() != framesBefore {
+		t.Errorf("FrameCount = %d, want %d", p.FrameCount(), framesBefore)
+	}
+	if p.Fingerprint() != fpBefore {
+		t.Errorf("fingerprint differs after restore")
+	}
+
+	// The snapshot stays valid: diverge and restore again.
+	p.Write8(0x1000, 'X')
+	p.Restore(s)
+	if got := p.Read8(0x1000); got != 'h' {
+		t.Errorf("second restore: got %q", got)
+	}
+	s.Release()
+}
+
+func TestRestoreReleasedSnapshotPanics(t *testing.T) {
+	p := NewPhysical()
+	p.Write8(0, 1)
+	s := p.Snapshot()
+	s.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Restore after Release did not panic")
+		}
+	}()
+	p.Restore(s)
+}
+
+func TestCloneIsIndependentAndBitIdentical(t *testing.T) {
+	p := NewPhysical()
+	for i := uint32(0); i < 64; i++ {
+		p.Write32(i*PageSize, i^0x5a5a)
+	}
+	q := p.Clone()
+	if q.Fingerprint() != p.Fingerprint() {
+		t.Fatalf("clone fingerprint differs")
+	}
+	if q.FrameCount() != p.FrameCount() {
+		t.Fatalf("clone FrameCount %d != %d", q.FrameCount(), p.FrameCount())
+	}
+
+	q.Write32(3*PageSize, 111)
+	p.Write32(5*PageSize, 222)
+	if p.Read32(3*PageSize) != 3^0x5a5a {
+		t.Errorf("clone write leaked into source")
+	}
+	if q.Read32(5*PageSize) != 5^0x5a5a {
+		t.Errorf("source write leaked into clone")
+	}
+	if q.Read32(3*PageSize) != 111 || p.Read32(5*PageSize) != 222 {
+		t.Errorf("own writes lost")
+	}
+}
+
+func TestReadsNeverCopyFrames(t *testing.T) {
+	p := NewPhysical()
+	p.WriteBytes(0, make([]byte, 4*PageSize))
+	q := p.Clone()
+	for i := uint32(0); i < 4*PageSize; i += 4 {
+		q.Read32(i)
+	}
+	if _, copies := q.COWStats(); copies != 0 {
+		t.Errorf("reads caused %d COW frame copies", copies)
+	}
+	// One write copies exactly one frame.
+	q.Write8(0, 1)
+	if _, copies := q.COWStats(); copies != 1 {
+		t.Errorf("one write caused %d COW frame copies, want 1", copies)
+	}
+}
+
+func TestReleaseRestoresInPlaceWrites(t *testing.T) {
+	p := NewPhysical()
+	p.Write8(0, 1)
+	s := p.Snapshot()
+	s.Release()
+	p.Write8(0, 2) // sole owner again: no copy
+	if _, copies := p.COWStats(); copies != 0 {
+		t.Errorf("write after release copied %d frames", copies)
+	}
+}
+
+// TestCOWHammerConcurrentClones is the -race leg's core target: many
+// goroutines writing and reading through clones that share frames with
+// one template, while snapshots are taken and restored on the side.
+func TestCOWHammerConcurrentClones(t *testing.T) {
+	p := NewPhysical()
+	const pages = 128
+	for i := uint32(0); i < pages; i++ {
+		p.Write32(i*PageSize, i)
+	}
+	base := p.Fingerprint()
+
+	const clones = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clones)
+	for c := 0; c < clones; c++ {
+		q := p.Clone()
+		wg.Add(1)
+		go func(id uint32, q *Physical) {
+			defer wg.Done()
+			s := q.Snapshot()
+			defer s.Release()
+			for round := 0; round < 3; round++ {
+				for i := uint32(0); i < pages; i++ {
+					q.Write32(i*PageSize, i*1000+id)
+				}
+				for i := uint32(0); i < pages; i++ {
+					if got := q.Read32(i * PageSize); got != i*1000+id {
+						errs <- fmt.Errorf("clone %d: page %d = %d", id, i, got)
+						return
+					}
+				}
+				q.Restore(s)
+				for i := uint32(0); i < pages; i++ {
+					if got := q.Read32(i * PageSize); got != i {
+						errs <- fmt.Errorf("clone %d after restore: page %d = %d", id, i, got)
+						return
+					}
+				}
+			}
+		}(uint32(c), q)
+	}
+	// The template keeps serving reads (and its own writes to fresh
+	// pages) while the clones hammer shared frames.
+	for i := uint32(0); i < pages; i++ {
+		if got := p.Read32(i * PageSize); got != i {
+			t.Errorf("template page %d = %d during hammer", i, got)
+		}
+		p.Write32((pages+i)*PageSize, i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Template's original image is untouched by every clone's traffic.
+	q := NewPhysical()
+	for i := uint32(0); i < pages; i++ {
+		q.Write32(i*PageSize, p.Read32(i*PageSize))
+	}
+	if q.Fingerprint() != base {
+		t.Errorf("template image mutated by clone traffic")
+	}
+}

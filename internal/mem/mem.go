@@ -2,11 +2,21 @@
 // frame allocator. Physical memory is sparse: 4 KB frames are allocated
 // on first touch, so a 4 GB physical address space costs only what is
 // actually used.
+//
+// The frame store is copy-on-write: Snapshot freezes the current frame
+// table into an immutable parent, Clone derives a new Physical sharing
+// every frame with its source, and the first write through a shared
+// frame clones just that frame. Whole-machine snapshot/restore
+// (internal/cpu, internal/kernel, internal/core) and O(1) fleet machine
+// cloning (internal/fleet) are built on this layer.
 package mem
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/maphash"
+	"slices"
+	"sync/atomic"
 )
 
 // PageSize is the size of a physical page frame in bytes (4 KB, as on
@@ -30,12 +40,67 @@ const (
 	physRootSize  = 1 << (32 - PageShift - physChunkBits)
 )
 
-type physChunk [physChunkSize]*[PageSize]byte
+// frame is one 4 KB physical page frame. refs counts how many chunk
+// tables reference it; a frame is written in place only while that
+// count is 1, so a frame reachable from a snapshot or a clone is
+// immutable until the writer clones it off (the COW write fault).
+// The count is atomic because clones run on different goroutines.
+type frame struct {
+	refs atomic.Int32
+	data [PageSize]byte
+}
 
-// Physical is a sparse physical memory.
+func newFrame() *frame {
+	f := &frame{}
+	f.refs.Store(1)
+	return f
+}
+
+// physChunk is one 4 MB-aligned slice of the frame table. refs counts
+// how many frame tables (Physicals and Snapshots) reference the chunk;
+// the frames array is mutated only while that count is 1. Sharing is
+// two-level so Snapshot/Clone touch only the ~1k chunk pointers, not
+// every frame.
+type physChunk struct {
+	refs   atomic.Int32
+	frames [physChunkSize]*frame
+}
+
+func newChunk() *physChunk {
+	c := &physChunk{}
+	c.refs.Store(1)
+	return c
+}
+
+// releaseChunk drops one reference to c, cascading a frame release when
+// the chunk itself dies.
+func releaseChunk(c *physChunk) {
+	if c.refs.Add(-1) == 0 {
+		for _, f := range c.frames {
+			if f != nil {
+				f.refs.Add(-1)
+			}
+		}
+	}
+}
+
+// Physical is a sparse, copy-on-write physical memory.
 type Physical struct {
 	root    [physRootSize]*physChunk
 	touched int
+
+	// cowCopies counts frames cloned by write faults; snapshots counts
+	// Snapshot calls (diagnostics only — COW charges no simulated
+	// cycles, so the non-snapshot paths stay bit-identical).
+	cowCopies uint64
+	snapshots uint64
+
+	// onRestore, when set (by the MMU observing this memory), runs
+	// after every Restore so translation-keyed decode state (the CPU's
+	// decoded-block cache generation) is invalidated: the restored
+	// frame table may back the same physical addresses with different
+	// bytes and different installed code.
+	onRestore func()
 }
 
 // NewPhysical returns an empty physical memory.
@@ -43,30 +108,170 @@ func NewPhysical() *Physical {
 	return &Physical{}
 }
 
-func (p *Physical) frame(pa uint32) *[PageSize]byte {
-	fn := pa >> PageShift
-	c := p.root[fn>>physChunkBits]
+// OnRestore registers the restore hook (one consumer: the MMU).
+func (p *Physical) OnRestore(fn func()) { p.onRestore = fn }
+
+// exclusiveChunk returns the chunk covering frame number fn with this
+// Physical as its sole owner, creating it when absent and splitting it
+// off when it is shared with a snapshot or a clone (the chunk-level
+// half of the COW write fault).
+func (p *Physical) exclusiveChunk(fn uint32) *physChunk {
+	ci := fn >> physChunkBits
+	c := p.root[ci]
 	if c == nil {
-		c = new(physChunk)
-		p.root[fn>>physChunkBits] = c
+		c = newChunk()
+		p.root[ci] = c
+		return c
 	}
-	f := c[fn&(physChunkSize-1)]
+	if c.refs.Load() == 1 {
+		return c
+	}
+	nc := newChunk()
+	nc.frames = c.frames
+	for _, f := range nc.frames {
+		if f != nil {
+			f.refs.Add(1)
+		}
+	}
+	// Publish the new chunk before dropping the shared one: another
+	// owner may treat a refcount of 1 as exclusive the instant the
+	// decrement lands, so all our copying must be done by then.
+	p.root[ci] = nc
+	releaseChunk(c)
+	return nc
+}
+
+// readFrame returns the frame backing pa for reading. An absent frame
+// is allocated zeroed, exactly as the pre-COW store did, so FrameCount
+// accounting is unchanged on non-snapshot paths.
+func (p *Physical) readFrame(pa uint32) *[PageSize]byte {
+	fn := pa >> PageShift
+	if c := p.root[fn>>physChunkBits]; c != nil {
+		if f := c.frames[fn&(physChunkSize-1)]; f != nil {
+			return &f.data
+		}
+	}
+	c := p.exclusiveChunk(fn)
+	f := newFrame()
+	c.frames[fn&(physChunkSize-1)] = f
+	p.touched++
+	return &f.data
+}
+
+// writeFrame returns the frame backing pa for writing, cloning a
+// shared frame first (the frame-level half of the COW write fault).
+func (p *Physical) writeFrame(pa uint32) *[PageSize]byte {
+	fn := pa >> PageShift
+	c := p.exclusiveChunk(fn)
+	i := fn & (physChunkSize - 1)
+	f := c.frames[i]
 	if f == nil {
-		f = new([PageSize]byte)
-		c[fn&(physChunkSize-1)] = f
+		f = newFrame()
+		c.frames[i] = f
 		p.touched++
+		return &f.data
 	}
-	return f
+	if f.refs.Load() > 1 {
+		nf := newFrame()
+		nf.data = f.data
+		c.frames[i] = nf
+		f.refs.Add(-1)
+		p.cowCopies++
+		f = nf
+	}
+	return &f.data
+}
+
+// Snapshot freezes the current frame table into an immutable parent:
+// every chunk becomes shared, so later writes through this Physical
+// (or any clone) fault their frame off before mutating it. Snapshots
+// charge no simulated cycles and leave all simulated metrics
+// untouched. Call Release when the snapshot is no longer needed so
+// frames stop being treated as shared.
+func (p *Physical) Snapshot() *Snapshot {
+	s := &Snapshot{touched: p.touched}
+	s.root = p.root
+	for _, c := range s.root {
+		if c != nil {
+			c.refs.Add(1)
+		}
+	}
+	p.snapshots++
+	return s
+}
+
+// Restore resets the memory image to exactly the snapshot's state and
+// fires the restore hook (invalidating translation-keyed decode state
+// in the MMU's consumers). The snapshot stays valid and can be
+// restored again.
+func (p *Physical) Restore(s *Snapshot) {
+	if s.released {
+		panic("mem: restoring a released snapshot")
+	}
+	old := p.root
+	p.root = s.root
+	for _, c := range p.root {
+		if c != nil {
+			c.refs.Add(1)
+		}
+	}
+	for _, c := range old {
+		if c != nil {
+			releaseChunk(c)
+		}
+	}
+	p.touched = s.touched
+	if p.onRestore != nil {
+		p.onRestore()
+	}
+}
+
+// Clone derives a new Physical whose initial contents are bit-identical
+// to p, sharing every frame copy-on-write. The cost is O(chunks), not
+// O(bytes): this is what makes whole-machine cloning O(1) in the size
+// of memory. The clone may be used from another goroutine; the shared
+// refcounts are atomic.
+func (p *Physical) Clone() *Physical {
+	q := &Physical{touched: p.touched}
+	q.root = p.root
+	for _, c := range q.root {
+		if c != nil {
+			c.refs.Add(1)
+		}
+	}
+	return q
+}
+
+// Snapshot is an immutable frozen frame table.
+type Snapshot struct {
+	root     [physRootSize]*physChunk
+	touched  int
+	released bool
+}
+
+// Release drops the snapshot's frame references; restoring it
+// afterwards panics. Releasing lets sole-owner frames be written in
+// place again instead of being COW-cloned forever.
+func (s *Snapshot) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	for _, c := range s.root {
+		if c != nil {
+			releaseChunk(c)
+		}
+	}
 }
 
 // Read8 reads one byte at physical address pa.
 func (p *Physical) Read8(pa uint32) byte {
-	return p.frame(pa)[pa&PageMask]
+	return p.readFrame(pa)[pa&PageMask]
 }
 
 // Write8 writes one byte at physical address pa.
 func (p *Physical) Write8(pa uint32, v byte) {
-	p.frame(pa)[pa&PageMask] = v
+	p.writeFrame(pa)[pa&PageMask] = v
 }
 
 // Read32 reads a little-endian 32-bit word at pa. Accesses that
@@ -74,7 +279,7 @@ func (p *Physical) Write8(pa uint32, v byte) {
 // already translated and checked each page).
 func (p *Physical) Read32(pa uint32) uint32 {
 	if pa&PageMask <= PageSize-4 {
-		f := p.frame(pa)
+		f := p.readFrame(pa)
 		off := pa & PageMask
 		return binary.LittleEndian.Uint32(f[off : off+4])
 	}
@@ -88,7 +293,7 @@ func (p *Physical) Read32(pa uint32) uint32 {
 // Write32 writes a little-endian 32-bit word at pa.
 func (p *Physical) Write32(pa uint32, v uint32) {
 	if pa&PageMask <= PageSize-4 {
-		f := p.frame(pa)
+		f := p.writeFrame(pa)
 		off := pa & PageMask
 		binary.LittleEndian.PutUint32(f[off:off+4], v)
 		return
@@ -114,7 +319,7 @@ func (p *Physical) ReadBytes(pa uint32, n int) []byte {
 	b := make([]byte, n)
 	copied := 0
 	for copied < n {
-		f := p.frame(pa)
+		f := p.readFrame(pa)
 		off := int(pa & PageMask)
 		c := copy(b[copied:], f[off:])
 		copied += c
@@ -126,7 +331,7 @@ func (p *Physical) ReadBytes(pa uint32, n int) []byte {
 // WriteBytes copies b into physical memory starting at pa.
 func (p *Physical) WriteBytes(pa uint32, b []byte) {
 	for len(b) > 0 {
-		f := p.frame(pa)
+		f := p.writeFrame(pa)
 		off := int(pa & PageMask)
 		c := copy(f[off:], b)
 		b = b[c:]
@@ -137,7 +342,7 @@ func (p *Physical) WriteBytes(pa uint32, b []byte) {
 // Zero clears n bytes starting at pa.
 func (p *Physical) Zero(pa uint32, n int) {
 	for n > 0 {
-		f := p.frame(pa)
+		f := p.writeFrame(pa)
 		off := int(pa & PageMask)
 		c := min(n, PageSize-off)
 		clear(f[off : off+c])
@@ -148,6 +353,39 @@ func (p *Physical) Zero(pa uint32, n int) {
 
 // FrameCount reports how many frames have been touched.
 func (p *Physical) FrameCount() int { return p.touched }
+
+// COWStats reports copy-on-write diagnostics: snapshots taken on this
+// Physical and frames cloned by write faults.
+func (p *Physical) COWStats() (snapshots, frameCopies uint64) {
+	return p.snapshots, p.cowCopies
+}
+
+// fingerprintSeed is fixed so fingerprints are comparable across
+// Physicals within one process (differential tests hash two machines).
+var fingerprintSeed = maphash.MakeSeed()
+
+// Fingerprint hashes every touched frame (index and contents) into one
+// value; two Physicals with identical allocated frames and identical
+// bytes fingerprint equally. It never allocates frames.
+func (p *Physical) Fingerprint() uint64 {
+	var h maphash.Hash
+	h.SetSeed(fingerprintSeed)
+	var idx [4]byte
+	for ci, c := range p.root {
+		if c == nil {
+			continue
+		}
+		for fi, f := range c.frames {
+			if f == nil {
+				continue
+			}
+			binary.LittleEndian.PutUint32(idx[:], uint32(ci)<<physChunkBits|uint32(fi))
+			h.Write(idx[:])
+			h.Write(f.data[:])
+		}
+	}
+	return h.Sum64()
+}
 
 // FrameAllocator hands out physical page frames from a fixed region of
 // physical memory. Frames are identified by their physical base
@@ -193,4 +431,28 @@ func (a *FrameAllocator) Free(pa uint32) {
 // Available reports how many frames can still be allocated.
 func (a *FrameAllocator) Available() int {
 	return int((a.limit-a.next)/PageSize) + len(a.free)
+}
+
+// Clone copies the allocator (cursor and free list) for a cloned
+// machine, so both sides keep handing out the same deterministic frame
+// sequence their shared history established.
+func (a *FrameAllocator) Clone() *FrameAllocator {
+	return &FrameAllocator{next: a.next, limit: a.limit, free: slices.Clone(a.free)}
+}
+
+// AllocatorState is a FrameAllocator snapshot.
+type AllocatorState struct {
+	next uint32
+	free []uint32
+}
+
+// Save captures the allocator state.
+func (a *FrameAllocator) Save() AllocatorState {
+	return AllocatorState{next: a.next, free: slices.Clone(a.free)}
+}
+
+// RestoreState rewinds the allocator to a saved state.
+func (a *FrameAllocator) RestoreState(s AllocatorState) {
+	a.next = s.next
+	a.free = append(a.free[:0], s.free...)
 }

@@ -46,8 +46,83 @@ func New(phys *mem.Physical, gdtSize int, clock *cycles.Clock, model *cycles.Mod
 		WriteProtect: true,
 	}
 	m.GDT.onMutate = m.bumpGen
+	// COW plumbing: restoring the frame store can put different bytes
+	// (and different installed code) behind live physical addresses, so
+	// a restore must advance the translation generation — every decoded
+	// block tagged with an older generation then misses and rebuilds
+	// from the restored image. TLB entries key physical *addresses*,
+	// which COW never changes, so the TLB needs no flush here; its
+	// contents are restored wholesale by RestoreState.
+	phys.OnRestore(m.bumpGen)
 	return m
 }
+
+// MMUState is a snapshot of the translation state: descriptor tables,
+// TLB contents and counters, current address space and control bits.
+type MMUState struct {
+	gdt   []Descriptor
+	ldt   *Table // cloned LDT, nil when none was installed
+	tlb   *TLB
+	space *AddressSpace
+	wp    bool
+}
+
+// SaveState snapshots the MMU. The translation generation is *not*
+// captured: it is monotonic so that decoded blocks from any abandoned
+// timeline can never tag-match again.
+func (m *MMU) SaveState() *MMUState {
+	s := &MMUState{gdt: m.GDT.Snapshot(), tlb: m.tlb.Clone(), space: m.space, wp: m.WriteProtect}
+	if m.LDT != nil {
+		s.ldt = m.LDT.Clone()
+	}
+	return s
+}
+
+// RestoreState rewinds the MMU to a saved state and advances the
+// generation (via the GDT restore's mutate hook) so stale decoded
+// blocks are invalidated. No cycle costs are charged and no TLB
+// statistics move: restore is a simulator-level operation, invisible
+// to the simulated timeline.
+func (m *MMU) RestoreState(s *MMUState) {
+	m.GDT.RestoreEntries(s.gdt) // fires bumpGen
+	if s.ldt == nil {
+		m.LDT = nil
+	} else {
+		m.LDT = s.ldt.Clone()
+		m.LDT.onMutate = m.bumpGen
+	}
+	m.tlb.restoreFrom(s.tlb)
+	m.space = s.space
+	m.WriteProtect = s.wp
+}
+
+// Clone copies the MMU onto a cloned machine's physical memory and
+// clock: descriptor tables, TLB state and generation carry over, so
+// the clone translates exactly as its source would.
+func (m *MMU) Clone(phys *mem.Physical, clock *cycles.Clock) *MMU {
+	c := &MMU{
+		Phys:         phys,
+		GDT:          m.GDT.Clone(),
+		clock:        clock,
+		model:        m.model,
+		tlb:          m.tlb.Clone(),
+		gen:          m.gen,
+		WriteProtect: m.WriteProtect,
+	}
+	c.GDT.onMutate = c.bumpGen
+	if m.LDT != nil {
+		c.LDT = m.LDT.Clone()
+		c.LDT.onMutate = c.bumpGen
+	}
+	phys.OnRestore(c.bumpGen)
+	return c
+}
+
+// AdoptSpace installs an address space without a TLB flush or cycle
+// charge: used when rebinding a cloned MMU to the clone's own
+// AddressSpace objects (the page-table contents, which live in
+// simulated memory, are already identical).
+func (m *MMU) AdoptSpace(space *AddressSpace) { m.space = space }
 
 // bumpGen advances the translation generation (see the gen field).
 func (m *MMU) bumpGen() { m.gen++ }

@@ -72,6 +72,15 @@ func NewAddressSpace(phys *mem.Physical, alloc *mem.FrameAllocator) (*AddressSpa
 // CR3 returns the physical base address of the page directory.
 func (as *AddressSpace) CR3() uint32 { return as.pdBase }
 
+// AdoptAddressSpace wraps an existing page directory (identified by its
+// CR3 value) in a new AddressSpace bound to a cloned machine's physical
+// memory and allocator. The page-table contents themselves live in
+// simulated physical memory and were carried over by the COW clone; the
+// wrapper only needs the clone's pointers.
+func AdoptAddressSpace(phys *mem.Physical, alloc *mem.FrameAllocator, cr3 uint32) *AddressSpace {
+	return &AddressSpace{phys: phys, alloc: alloc, pdBase: cr3}
+}
+
 func splitLinear(la uint32) (pdi, pti, off uint32) {
 	return la >> 22, (la >> 12) & 0x3FF, la & mem.PageMask
 }

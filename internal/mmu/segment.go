@@ -192,6 +192,32 @@ func (t *Table) Clear(i int) {
 // Len returns the table capacity.
 func (t *Table) Len() int { return len(t.entries) }
 
+// Snapshot copies the table's descriptors.
+func (t *Table) Snapshot() []Descriptor {
+	out := make([]Descriptor, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// RestoreEntries rewinds the table to a snapshot produced by Snapshot,
+// firing onMutate once (descriptor contents may have changed, so any
+// decode state keyed on them must be invalidated).
+func (t *Table) RestoreEntries(entries []Descriptor) {
+	if len(entries) != len(t.entries) {
+		panic(fmt.Sprintf("mmu: %s snapshot size %d != table size %d", t.name, len(entries), len(t.entries)))
+	}
+	copy(t.entries, entries)
+	if t.onMutate != nil {
+		t.onMutate()
+	}
+}
+
+// Clone copies the table for a cloned machine. The clone's onMutate is
+// left unset; the owning MMU rebinds it.
+func (t *Table) Clone() *Table {
+	return &Table{name: t.name, entries: t.Snapshot()}
+}
+
 // Access describes the kind of memory access being checked.
 type Access int
 

@@ -144,5 +144,37 @@ func (t *TLB) Stats() (hits, misses, flushes uint64) {
 	return t.hits, t.misses, t.flushes
 }
 
+// Clone deep-copies the TLB: contents, epoch and counters. A cloned or
+// restored machine must resume with exactly this TLB state, because
+// hit/miss behaviour feeds the charged page-walk costs — a flush
+// instead of a copy would perturb every subsequent simulated metric.
+func (t *TLB) Clone() *TLB {
+	c := &TLB{epoch: t.epoch, live: t.live, hits: t.hits, misses: t.misses, flushes: t.flushes}
+	for i, leaf := range t.root {
+		if leaf != nil {
+			nl := *leaf
+			c.root[i] = &nl
+		}
+	}
+	return c
+}
+
+// restoreFrom rewinds this TLB to the state of a snapshot produced by
+// Clone, reusing existing leaves where possible.
+func (t *TLB) restoreFrom(s *TLB) {
+	t.epoch, t.live, t.hits, t.misses, t.flushes = s.epoch, s.live, s.hits, s.misses, s.flushes
+	for i := range t.root {
+		switch {
+		case s.root[i] == nil:
+			t.root[i] = nil
+		case t.root[i] == nil:
+			nl := *s.root[i]
+			t.root[i] = &nl
+		default:
+			*t.root[i] = *s.root[i]
+		}
+	}
+}
+
 // Len reports the number of live entries.
 func (t *TLB) Len() int { return t.live }

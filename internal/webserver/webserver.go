@@ -166,6 +166,35 @@ func New(s *core.System, fileSize uint32) (*Server, error) {
 // examples inspect it).
 func (srv *Server) App() *core.App { return srv.app }
 
+// Clone derives an independent server from this one without re-running
+// the boot: the underlying system is cloned (COW memory, copied
+// machine/kernel state) and the application, script handles and CGI
+// helper process are rebound to the clone. The clone's simulated state
+// is bit-identical to this server's at the moment of cloning, so a
+// clone of a freshly booted server serves exactly like a freshly
+// booted server. Clone while no request is in flight; the clone may
+// then serve from another goroutine.
+func (srv *Server) Clone() (*Server, error) {
+	s2, err := srv.S.Clone()
+	if err != nil {
+		return nil, err
+	}
+	app2, err := srv.app.Clone(s2)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		S: s2, Costs: srv.Costs, FileSize: srv.FileSize,
+		NetBandwidthMbps: srv.NetBandwidthMbps,
+
+		app:       app2,
+		script:    srv.script.Rebind(app2),
+		scriptRaw: srv.scriptRaw,
+		shared:    srv.shared,
+		cgiProc:   s2.K.Process(srv.cgiProc.PID),
+	}, nil
+}
+
 // ServeRequest executes one request under the given model, charging
 // all costs to the system clock, and returns the HTTP status.
 func (srv *Server) ServeRequest(m Model) (int, error) {
