@@ -12,6 +12,8 @@
 //	palladium-bench -interp        # interpreter block-cache/TLB counters
 //	palladium-bench -fleet         # concurrent machine-fleet scaling curve
 //	palladium-bench -snapshot      # template-boot+clone vs serial fleet boots
+//	palladium-bench -matrix        # workload x backend matrix (BENCH_matrix.json)
+//	palladium-bench -matrix -backend sfi,bpf   # restrict the matrix's backends
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/sandbox"
 )
 
 func main() {
@@ -36,11 +39,14 @@ func main() {
 	fleetJSON := flag.String("fleet-json", "", "write the -fleet report to this JSON file")
 	snapshotRun := flag.Bool("snapshot", false, "compare template-boot+clone against serial fleet boots")
 	snapshotJSON := flag.String("snapshot-json", "BENCH_snapshot.json", "write the -snapshot report to this JSON file")
+	matrixRun := flag.Bool("matrix", false, "run both workloads under every sandbox backend")
+	backend := flag.String("backend", "", "comma-separated sandbox backends for -matrix (default: all registered)")
+	matrixJSON := flag.String("matrix-json", "BENCH_matrix.json", "write the -matrix report to this JSON file")
 	requests := flag.Int("requests", 100, "requests per Table 3 cell")
 	calls := flag.Int("calls", 1000, "protected calls for the -interp workload")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun
+	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun && !*matrixRun
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "palladium-bench:", err)
 		os.Exit(1)
@@ -144,6 +150,47 @@ func main() {
 			}
 		}
 	}
+	if *matrixRun {
+		names, err := parseBackends(*backend)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := experiments.MeasureMatrix(*requests, names)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderMatrix(os.Stdout, rep)
+		if *matrixJSON != "" {
+			b, err := json.MarshalIndent(rep, "", " ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*matrixJSON, append(b, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+// parseBackends validates a comma-separated backend list against the
+// sandbox registry; empty selects every registered backend.
+func parseBackends(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, n := range sandbox.Backends() {
+		known[n] = true
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		n := strings.TrimSpace(f)
+		if !known[n] {
+			return nil, fmt.Errorf("unknown backend %q (have %s)", n, strings.Join(sandbox.Backends(), ", "))
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func parseWorkers(s string) ([]int, error) {

@@ -7,7 +7,9 @@
 // The library lives under internal/: internal/core is Palladium
 // itself, and the remaining packages are the substrates (cycle model,
 // MMU, CPU, kernel, loader) and the baselines/applications used by the
-// evaluation. See DESIGN.md for the system inventory, EXPERIMENTS.md
-// for paper-vs-measured results, and bench_test.go for the benchmark
-// per table and figure.
+// evaluation. The public repro/sandbox package is the unified
+// Backend/Extension programming model over every isolation mechanism
+// the paper compares. See DESIGN.md for the system inventory,
+// EXPERIMENTS.md for paper-vs-measured results, and bench_test.go for
+// the benchmark per table and figure.
 package repro

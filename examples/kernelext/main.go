@@ -86,8 +86,14 @@ func main() {
 	fmt.Println("kernel service result =", v)
 
 	// Asynchronous invocations (Section 4.3): queue now, run later.
-	f.InvokeAsync(3)
-	f.InvokeAsync(3)
+	// The queue is bounded; a full queue refuses the request with
+	// core.ErrAsyncBackpressure instead of growing without limit.
+	if err := f.InvokeAsync(3); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.InvokeAsync(3); err != nil {
+		log.Fatal(err)
+	}
 	n, err := seg.RunPending()
 	if err != nil {
 		log.Fatal(err)

@@ -12,10 +12,17 @@
 package bpf
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cycles"
 )
+
+// ErrRunaway reports that an interpreted program exceeded the
+// interpreter's step budget. Validated programs cannot trigger it
+// (all jumps are forward), so it only fires for programs run without
+// validation; sandbox adapters classify it as a time-limit overrun.
+var ErrRunaway = errors.New("bpf: runaway program")
 
 // Op is a BPF virtual-machine opcode.
 type Op uint8
@@ -157,7 +164,7 @@ func (in *Interp) Run(p Program, pkt []byte) (uint32, error) {
 			return 0, fmt.Errorf("bpf: pc out of bounds (%d)", pc)
 		}
 		if steps++; steps > 10_000 {
-			return 0, fmt.Errorf("bpf: runaway program")
+			return 0, ErrRunaway
 		}
 		ins := p[pc]
 		in.Clock.Add(in.Costs.Dispatch)

@@ -378,7 +378,11 @@ func (pf *ProtectedFunc) Call(arg uint32) (uint32, error) {
 			case kernel.Retry:
 				continue
 			case kernel.SignalDelivered:
-				return 0, fmt.Errorf("%w: %v", ErrExtensionFault, res.Fault)
+				// Both the sentinel and the hardware fault are wrapped
+				// (the message is unchanged) so callers — notably the
+				// sandbox fault taxonomy — can errors.As the *mmu.Fault
+				// out of the chain.
+				return 0, fmt.Errorf("%w: %w", ErrExtensionFault, res.Fault)
 			default:
 				return 0, res.Fault
 			}
@@ -430,6 +434,10 @@ func (a *App) CallUnprotected(fnAddr uint32, arg uint32) (uint32, error) {
 				continue
 			}
 			return 0, res.Fault
+		case cpu.StopError:
+			// Surface run errors (e.g. an adapter-armed time limit)
+			// unwrapped so errors.Is can classify them.
+			return 0, res.Err
 		default:
 			return 0, fmt.Errorf("palladium: unprotected run stopped: %v (%v)", res.Reason, res.Err)
 		}

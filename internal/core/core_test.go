@@ -667,9 +667,11 @@ func TestAsyncKernelExtensions(t *testing.T) {
 		counter: .word 0
 	`))
 	f, _ := s.ExtensionFunction("tally")
-	f.InvokeAsync(5)
-	f.InvokeAsync(7)
-	f.InvokeAsync(30)
+	for _, arg := range []uint32{5, 7, 30} {
+		if err := f.InvokeAsync(arg); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if seg.Pending() != 3 {
 		t.Fatalf("pending = %d", seg.Pending())
 	}
@@ -749,5 +751,95 @@ func TestPhasesString(t *testing.T) {
 	sstr := ph.String()
 	if !strings.Contains(sstr, "142") {
 		t.Errorf("Phases.String() = %q", sstr)
+	}
+}
+
+func TestAsyncQueueBoundBackpressureAndDrainOnRelease(t *testing.T) {
+	// Regression for the unbounded async queue: InvokeAsync used to
+	// grow Seg.queue without limit and nothing drained it on release.
+	s := newSystem(t)
+	s.K.CreateProcess()
+	seg, err := s.NewExtSegment("bounded", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.QueueBound = 3
+	im, err := s.Insmod(seg, isa.MustAssemble("m", `
+		.global tally
+		.text
+		tally:
+			mov eax, [counter]
+			add eax, [esp+4]
+			mov [counter], eax
+			ret
+		.data
+		.global counter
+		counter: .word 0
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := s.ExtensionFunction("tally")
+	for i := 1; i <= 3; i++ {
+		if err := f.InvokeAsync(uint32(i)); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	// The bound refuses the fourth request with the typed error.
+	err = f.InvokeAsync(99)
+	if !errors.Is(err, ErrAsyncBackpressure) {
+		t.Fatalf("overflow error = %v, want ErrAsyncBackpressure", err)
+	}
+	if seg.Pending() != 3 {
+		t.Fatalf("pending = %d after refused enqueue, want 3", seg.Pending())
+	}
+
+	// Release drains every accepted request (none dropped), then
+	// reclaims the segment's entry points.
+	if err := seg.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Pending() != 0 {
+		t.Errorf("pending = %d after release", seg.Pending())
+	}
+	off, _ := im.Lookup("counter")
+	b, err := s.ReadShared(seg, off, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if got != 1+2+3 {
+		t.Errorf("counter = %d after drain-on-release, want 6", got)
+	}
+	if _, ok := s.ExtensionFunction("tally"); ok {
+		t.Error("released extension still registered")
+	}
+	if err := f.InvokeAsync(1); !errors.Is(err, ErrKernelExtensionAborted) {
+		t.Errorf("post-release InvokeAsync = %v, want ErrKernelExtensionAborted", err)
+	}
+	// Release is idempotent.
+	if err := seg.Release(); err != nil {
+		t.Errorf("second release: %v", err)
+	}
+}
+
+func TestAsyncDefaultBound(t *testing.T) {
+	s := newSystem(t)
+	s.K.CreateProcess()
+	seg, err := s.NewExtSegment("defbound", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insmod(seg, isa.MustAssemble("m", "\t.global nop\n\t.text\nnop: ret\n")); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := s.ExtensionFunction("nop")
+	for i := 0; i < DefaultAsyncQueueBound; i++ {
+		if err := f.InvokeAsync(0); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if err := f.InvokeAsync(0); !errors.Is(err, ErrAsyncBackpressure) {
+		t.Fatalf("default bound not enforced: %v", err)
 	}
 }

@@ -25,6 +25,18 @@ var ErrKernelExtensionAborted = errors.New("palladium: kernel extension aborted"
 // before the call, and the extension segment stays alive.
 var ErrKernelExtensionRolledBack = errors.New("palladium: kernel extension rolled back")
 
+// ErrAsyncBackpressure reports that an asynchronous invocation was
+// refused because the extension segment's request queue is at its
+// bound. Like the fleet's bounded submission queue, the bound converts
+// unbounded memory growth under overload into an explicit, typed
+// backpressure signal the caller can react to (drop, retry, or drain
+// with RunPending).
+var ErrAsyncBackpressure = errors.New("palladium: extension async queue full")
+
+// DefaultAsyncQueueBound is the per-segment asynchronous request queue
+// bound used when ExtSegment.QueueBound is zero.
+const DefaultAsyncQueueBound = 64
+
 // errKernelReturn is the sentinel produced by the kernel-side return
 // gate: the extension finished and control is back in the kernel.
 var errKernelReturn = errors.New("palladium: kernel extension returned")
@@ -66,9 +78,12 @@ type ExtSegment struct {
 	stubs   *stubArena // per-segment Transfer stubs (run at SPL 1)
 	aborted bool
 
-	// Async request queue (Section 4.3).
-	busy  bool
-	queue []asyncReq
+	// Async request queue (Section 4.3). QueueBound caps its length
+	// (0 means DefaultAsyncQueueBound); InvokeAsync refuses further
+	// requests with ErrAsyncBackpressure once the bound is reached.
+	busy       bool
+	queue      []asyncReq
+	QueueBound int
 }
 
 type asyncReq struct {
@@ -456,12 +471,16 @@ func (f *KernelExtensionFunc) invoke(arg uint32, tx bool) (uint32, error) {
 	// transactional calls restore the pre-call state and keep the
 	// segment alive; plain calls abort the segment (Section 4.5.2).
 	fail := func(cause error) error {
+		// Both the policy sentinel and the cause are wrapped (the
+		// message is unchanged) so callers — notably the sandbox fault
+		// taxonomy — can errors.As the *mmu.Fault or errors.Is the
+		// time limit out of the chain.
 		if tx {
 			s.Restore(snap)
-			return fmt.Errorf("%w: %v", ErrKernelExtensionRolledBack, cause)
+			return fmt.Errorf("%w: %w", ErrKernelExtensionRolledBack, cause)
 		}
 		f.Seg.abort(s)
-		return fmt.Errorf("%w: %v", ErrKernelExtensionAborted, cause)
+		return fmt.Errorf("%w: %w", ErrKernelExtensionAborted, cause)
 	}
 	m := k.Machine
 	saved := m.SaveContext()
@@ -542,9 +561,25 @@ func (seg *ExtSegment) Aborted() bool { return seg.aborted }
 // InvokeAsync queues a request for the extension (Section 4.3's
 // asynchronous extensions): if the module is busy the request waits;
 // otherwise it runs when RunPending drains the queue. Results are
-// discarded, as with the paper's queued packet-filter work.
-func (f *KernelExtensionFunc) InvokeAsync(arg uint32) {
-	f.Seg.queue = append(f.Seg.queue, asyncReq{fn: f, arg: arg})
+// discarded, as with the paper's queued packet-filter work. The queue
+// is bounded (QueueBound, default DefaultAsyncQueueBound): once full,
+// further requests are refused with ErrAsyncBackpressure instead of
+// growing the queue without limit.
+func (f *KernelExtensionFunc) InvokeAsync(arg uint32) error {
+	seg := f.Seg
+	if seg.aborted {
+		return ErrKernelExtensionAborted
+	}
+	bound := seg.QueueBound
+	if bound <= 0 {
+		bound = DefaultAsyncQueueBound
+	}
+	if len(seg.queue) >= bound {
+		return fmt.Errorf("%w: segment %s holds %d pending requests",
+			ErrAsyncBackpressure, seg.Name, len(seg.queue))
+	}
+	seg.queue = append(seg.queue, asyncReq{fn: f, arg: arg})
+	return nil
 }
 
 // RunPending drains the segment's asynchronous request queue, running
@@ -569,3 +604,19 @@ func (seg *ExtSegment) RunPending() (completed int, err error) {
 
 // Pending reports the queued request count.
 func (seg *ExtSegment) Pending() int { return len(seg.queue) }
+
+// Release retires the segment gracefully: every queued asynchronous
+// request is drained (run to completion — accepted work is never
+// dropped) and the segment's entry points are then unregistered, as
+// for an abort's resource reclamation. Releasing an already-aborted or
+// already-released segment is a no-op.
+func (seg *ExtSegment) Release() error {
+	if seg.aborted {
+		return nil
+	}
+	if _, err := seg.RunPending(); err != nil {
+		return err
+	}
+	seg.abort(seg.S)
+	return nil
+}

@@ -136,11 +136,12 @@ func (s *System) Clone() (*System, error) {
 		seg2 := &ExtSegment{
 			S: s2, Name: seg.Name, Base: seg.Base, Limit: seg.Limit,
 			Code: seg.Code, Data: seg.Data,
-			next:    seg.next,
-			ranges:  seg.ranges.clone(),
-			mapped:  maps.Clone(seg.mapped),
-			aborted: seg.aborted,
-			busy:    seg.busy,
+			next:       seg.next,
+			ranges:     seg.ranges.clone(),
+			mapped:     maps.Clone(seg.mapped),
+			aborted:    seg.aborted,
+			busy:       seg.busy,
+			QueueBound: seg.QueueBound,
 		}
 		seg2.stubs = seg.stubs.rebind(seg2)
 		for _, im := range seg.modules {

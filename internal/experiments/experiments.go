@@ -19,6 +19,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/sfi"
 	"repro/internal/webserver"
+	"repro/sandbox"
 )
 
 // StrrevSrc is the Table 2 extension: "an artificial extension
@@ -152,7 +153,15 @@ type Table2Row struct {
 }
 
 // Table2 regenerates the string-reverse comparison for the given
-// sizes (the paper uses 32/64/128/256).
+// sizes (the paper uses 32/64/128/256). The strrev module is loaded
+// once and dispatched through the unified sandbox API: the same
+// handle adopted as a direct-backend extension (the unprotected
+// column) and as a palladium-user extension (the Palladium column),
+// so both columns measure the same loaded bytes and the rows are
+// bit-identical to the pre-redesign pf.Call / CallUnprotected path
+// (pinned by TestTable2BitIdenticalThroughSandbox). The RPC column
+// stays the Loopback cost model: it prices shipping the string to a
+// server doing the measured unprotected work.
 func Table2(sizes []int) ([]Table2Row, error) {
 	s, err := newSystem(cycles.Measured())
 	if err != nil {
@@ -182,6 +191,8 @@ func Table2(sizes []int) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	direct := sandbox.AdoptDirect(a, "strrev", raw)
+	prot := sandbox.AdoptProtected(pf)
 
 	clock := s.Clock()
 	var rows []Table2Row
@@ -191,22 +202,22 @@ func Table2(sizes []int) ([]Table2Row, error) {
 			return nil, err
 		}
 		// Warm (the paper fully warms the CPU cache).
-		if _, err := a.CallUnprotected(raw, buf); err != nil {
+		if _, err := direct.Invoke(buf); err != nil {
 			return nil, err
 		}
 		unprot := clock.Span(func() {
-			if _, err2 := a.CallUnprotected(raw, buf); err2 != nil {
+			if _, err2 := direct.Invoke(buf); err2 != nil {
 				err = err2
 			}
 		})
 		if err != nil {
 			return nil, err
 		}
-		if _, err := pf.Call(buf); err != nil {
+		if _, err := prot.Invoke(buf); err != nil {
 			return nil, err
 		}
-		prot := clock.Span(func() {
-			if _, err2 := pf.Call(buf); err2 != nil {
+		protCyc := clock.Span(func() {
+			if _, err2 := prot.Invoke(buf); err2 != nil {
 				err = err2
 			}
 		})
@@ -219,7 +230,7 @@ func Table2(sizes []int) ([]Table2Row, error) {
 		rows = append(rows, Table2Row{
 			Size:        n,
 			Unprotected: clock.Micros(unprot),
-			Palladium:   clock.Micros(prot),
+			Palladium:   clock.Micros(protCyc),
 			RPC:         clock.Micros(rpcCyc),
 		})
 	}

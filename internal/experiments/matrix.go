@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/filter"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/sandbox"
+)
+
+// The workload×backend matrix: both evaluation workloads (the Figure
+// 7 packet filter and the Table 3 LibCGI script) run under every
+// applicable sandbox backend — including the combinations the paper
+// never measured (a packet filter under SFI or as a protected
+// user-level extension, the CGI script inside a kernel segment or
+// behind loopback RPC). The unified sandbox API is what makes these
+// cells one loop instead of five hand-wired harnesses.
+
+// MatrixWorkloads lists the matrix's workload names.
+func MatrixWorkloads() []string { return []string{"packet-filter", "libcgi"} }
+
+// MatrixCell is one workload×backend measurement.
+type MatrixCell struct {
+	Workload string `json:"workload"`
+	Backend  string `json:"backend"`
+	// Supported is false for combinations the mechanism cannot
+	// express (BPF bytecode cannot encode the CGI script).
+	Supported bool `json:"supported"`
+	// InPaper marks cells the paper's evaluation measured (Figure 7:
+	// bpf + palladium-kernel filters; Table 3: direct +
+	// palladium-user LibCGI).
+	InPaper bool `json:"in_paper"`
+	// CyclesPerOp is the simulated cycles of one operation (one
+	// packet match, one CGI invocation), averaged over the run after
+	// a warm-up op.
+	CyclesPerOp float64 `json:"cycles_per_op"`
+	// OpsPerSec converts CyclesPerOp at the machine's clock rate.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Result is the workload's sanity value (filter verdict 1, HTTP
+	// status 200).
+	Result uint32 `json:"result"`
+	Note   string `json:"note,omitempty"`
+}
+
+// MatrixReport is the BENCH_matrix.json payload.
+type MatrixReport struct {
+	Note      string       `json:"note"`
+	Requests  int          `json:"requests_per_cell"`
+	Backends  []string     `json:"backends"`
+	Workloads []string     `json:"workloads"`
+	Supported int          `json:"supported_cells"`
+	Novel     int          `json:"cells_not_in_paper"`
+	Cells     []MatrixCell `json:"cells"`
+}
+
+// matrixOp is one prepared cell: op runs one operation and returns
+// the workload's sanity value.
+type matrixOp struct {
+	op      func() (uint32, error)
+	clock   *cycles.Clock
+	inPaper bool
+	note    string
+}
+
+// cgiScriptSrc is the Table 3 LibCGI script (webserver.scriptSrc's
+// semantics): it reads the request word the server staged at the
+// shared address it is passed, writes response status and length
+// beside it, and returns the status.
+const cgiScriptSrc = `
+	.global cgi_script
+	.text
+	cgi_script:
+		mov eax, [esp+4]      ; shared area address
+		mov ecx, [eax]        ; request: file length
+		mov [eax+4], 200      ; response: status
+		mov [eax+8], ecx      ; response: content length
+		mov eax, 200
+		ret
+`
+
+// kernelCGIScriptSrc adds an in-module data area so the script can run
+// inside a kernel extension segment (addresses are segment-relative
+// there; the staged area must live inside the segment).
+const kernelCGIScriptSrc = cgiScriptSrc + `
+	.data
+	.global cgi_env
+	cgi_env: .space 1024
+`
+
+// MeasureMatrix runs the full workload×backend matrix, `requests`
+// operations per cell, booting one fresh machine per cell so cells
+// are independent and deterministic. backends nil or empty selects
+// every registered backend.
+func MeasureMatrix(requests int, backends []string) (MatrixReport, error) {
+	if requests < 1 {
+		return MatrixReport{}, fmt.Errorf("experiments: matrix needs requests >= 1, got %d", requests)
+	}
+	if len(backends) == 0 {
+		backends = sandbox.Backends()
+	}
+	rep := MatrixReport{
+		Note: "Workload x backend matrix through the unified sandbox API: simulated cycles per operation " +
+			"(packet match / CGI invocation) for each isolation mechanism, including combinations the paper " +
+			"never measured. Each cell boots its own machine; cells are deterministic.",
+		Requests:  requests,
+		Backends:  backends,
+		Workloads: MatrixWorkloads(),
+	}
+	for _, workload := range rep.Workloads {
+		for _, backend := range backends {
+			cell := MatrixCell{Workload: workload, Backend: backend}
+			prep, err := prepareCell(workload, backend)
+			if err != nil {
+				return rep, fmt.Errorf("experiments: matrix %s x %s: %w", workload, backend, err)
+			}
+			if prep == nil {
+				cell.Note = "mechanism cannot express this workload"
+				rep.Cells = append(rep.Cells, cell)
+				continue
+			}
+			cell.Supported = true
+			cell.InPaper = prep.inPaper
+			cell.Note = prep.note
+			// Warm one op (the paper's cache-warm methodology), then
+			// measure the span of the run.
+			if cell.Result, err = prep.op(); err != nil {
+				return rep, fmt.Errorf("experiments: matrix %s x %s warm-up: %w", workload, backend, err)
+			}
+			start := prep.clock.Cycles()
+			for i := 0; i < requests; i++ {
+				v, err := prep.op()
+				if err != nil {
+					return rep, fmt.Errorf("experiments: matrix %s x %s op %d: %w", workload, backend, i, err)
+				}
+				cell.Result = v
+			}
+			cell.CyclesPerOp = (prep.clock.Cycles() - start) / float64(requests)
+			if cell.CyclesPerOp > 0 {
+				cell.OpsPerSec = prep.clock.MHz() * 1e6 / cell.CyclesPerOp
+			}
+			rep.Supported++
+			if !cell.InPaper {
+				rep.Novel++
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// prepareCell boots a machine and builds the cell's op; nil means the
+// combination is unsupported.
+func prepareCell(workload, backend string) (*matrixOp, error) {
+	s, err := core.NewSystem(cycles.Measured())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.K.CreateProcess(); err != nil {
+		return nil, err
+	}
+	switch workload {
+	case "packet-filter":
+		return preparePacketFilterCell(s, backend)
+	case "libcgi":
+		return prepareLibCGICell(s, backend)
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+func preparePacketFilterCell(s *core.System, backend string) (*matrixOp, error) {
+	pkt := filter.MakeUDPPacket(1234, 53, 64)
+	terms := filter.TermsTrueFor(pkt, 4)
+	var (
+		fil *filter.Filter
+		err error
+		mo  = &matrixOp{clock: s.Clock()}
+	)
+	switch backend {
+	case "bpf":
+		fil, err = filter.NewInterpreted(s, terms)
+		mo.inPaper, mo.note = true, "Figure 7 interpreted filter"
+	case "palladium-kernel":
+		fil, err = filter.NewCompiled(s, terms)
+		mo.inPaper, mo.note = true, "Figure 7 compiled in-kernel filter"
+	case "direct", "palladium-user", "sfi", "rpc":
+		obj, entry, cerr := filter.CompileObject(terms)
+		if cerr != nil {
+			return nil, cerr
+		}
+		b, oerr := sandbox.Open(backend, sandbox.HostFor(s))
+		if oerr != nil {
+			return nil, oerr
+		}
+		opts := sandbox.LoadOptions{Entry: entry, SharedSymbol: "shared_area",
+			ReqBytes: filter.HeaderLen, RespBytes: 4}
+		if backend == "sfi" {
+			// Read guards: the filter only loads packet bytes, so the
+			// write-only mode would guard nothing.
+			opts.SFI = sandbox.DefaultSFIRegion
+			opts.SFI.GuardReads = true
+		}
+		ext, lerr := b.Load(obj, opts)
+		if lerr != nil {
+			return nil, lerr
+		}
+		fil = filter.NewFilter(backend, ext, true)
+		mo.note = map[string]string{
+			"direct":         "compiled filter as a plain user-level call (not in paper)",
+			"palladium-user": "compiled filter as a protected user-level extension (not in paper)",
+			"sfi":            "compiled filter under SFI read+write guards (not in paper)",
+			"rpc":            "compiled filter in a server process behind loopback RPC (not in paper)",
+		}[backend]
+	default:
+		return nil, fmt.Errorf("unknown backend %q", backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mo.op = func() (uint32, error) {
+		ok, err := fil.Match(pkt)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("all-true packet rejected")
+		}
+		return 1, nil
+	}
+	return mo, nil
+}
+
+func prepareLibCGICell(s *core.System, backend string) (*matrixOp, error) {
+	const fileSize = 28 // Table 3's headline row
+	env := make([]byte, 700)
+	env[0] = fileSize
+	mo := &matrixOp{clock: s.Clock()}
+
+	src, opts := cgiScriptSrc, sandbox.LoadOptions{Entry: "cgi_script", SharedBytes: mem.PageSize}
+	switch backend {
+	case "bpf":
+		return nil, nil // BPF bytecode cannot encode the script
+	case "direct":
+		mo.inPaper, mo.note = true, "Table 3 LibCGI (unprotected)"
+	case "palladium-user":
+		mo.inPaper, mo.note = true, "Table 3 LibCGI (protected)"
+	case "palladium-kernel":
+		src, opts = kernelCGIScriptSrc, sandbox.LoadOptions{Entry: "cgi_script", SharedSymbol: "cgi_env"}
+		mo.note = "CGI script inside a kernel extension segment (not in paper)"
+	case "sfi":
+		opts = sandbox.LoadOptions{Entry: "cgi_script"} // stages at the region base
+		mo.note = "CGI script under SFI write guards (not in paper)"
+	case "rpc":
+		opts.ReqBytes, opts.RespBytes = len(env), 8
+		mo.note = "CGI script in a server process behind loopback RPC (not in paper)"
+	default:
+		return nil, fmt.Errorf("unknown backend %q", backend)
+	}
+	b, err := sandbox.Open(backend, sandbox.HostFor(s))
+	if err != nil {
+		return nil, err
+	}
+	ext, err := b.Load(isa.MustAssemble("cgiscript", src), opts)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := ext.(sandbox.Stager)
+	if !ok {
+		return nil, fmt.Errorf("%s extension has no staging area", backend)
+	}
+	mo.op = func() (uint32, error) {
+		if err := st.Stage(env); err != nil {
+			return 0, err
+		}
+		status, err := ext.Invoke(st.SharedArg())
+		if err != nil {
+			return 0, err
+		}
+		if status != 200 {
+			return status, fmt.Errorf("script returned %d", status)
+		}
+		return status, nil
+	}
+	return mo, nil
+}
+
+// RenderMatrix prints the matrix as a workload-major grid.
+func RenderMatrix(w io.Writer, rep MatrixReport) {
+	fmt.Fprintf(w, "Workload x backend matrix (%d ops/cell, simulated cycles per op; * = measured in the paper)\n",
+		rep.Requests)
+	fmt.Fprintf(w, "%-14s", "")
+	for _, b := range rep.Backends {
+		fmt.Fprintf(w, " %16s", b)
+	}
+	fmt.Fprintln(w)
+	for _, wl := range rep.Workloads {
+		fmt.Fprintf(w, "%-14s", wl)
+		for _, b := range rep.Backends {
+			cell := findCell(rep, wl, b)
+			switch {
+			case cell == nil || !cell.Supported:
+				fmt.Fprintf(w, " %16s", "-")
+			case cell.InPaper:
+				fmt.Fprintf(w, " %15.0f*", cell.CyclesPerOp)
+			default:
+				fmt.Fprintf(w, " %16.0f", cell.CyclesPerOp)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%d supported cells, %d combinations not measured in the paper\n", rep.Supported, rep.Novel)
+}
+
+func findCell(rep MatrixReport, workload, backend string) *MatrixCell {
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Workload == workload && c.Backend == backend {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixCoversWorkloadsAndBackends(t *testing.T) {
+	rep, err := MeasureMatrix(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 12 {
+		t.Fatalf("cells = %d, want 12 (2 workloads x 6 backends)", len(rep.Cells))
+	}
+	if rep.Supported < 8 {
+		t.Errorf("supported cells = %d, want >= 8", rep.Supported)
+	}
+	if rep.Novel < 2 {
+		t.Errorf("novel cells = %d, want >= 2 combinations the paper never measured", rep.Novel)
+	}
+	inPaper := 0
+	for _, c := range rep.Cells {
+		if c.Workload == "libcgi" && c.Backend == "bpf" {
+			if c.Supported {
+				t.Error("libcgi x bpf marked supported")
+			}
+			continue
+		}
+		if !c.Supported {
+			t.Errorf("%s x %s unsupported", c.Workload, c.Backend)
+			continue
+		}
+		if c.CyclesPerOp <= 0 || c.OpsPerSec <= 0 {
+			t.Errorf("%s x %s: cycles/op %v, ops/s %v", c.Workload, c.Backend, c.CyclesPerOp, c.OpsPerSec)
+		}
+		switch c.Workload {
+		case "packet-filter":
+			if c.Result != 1 {
+				t.Errorf("%s x %s verdict = %d, want accept", c.Workload, c.Backend, c.Result)
+			}
+		case "libcgi":
+			if c.Result != 200 {
+				t.Errorf("%s x %s status = %d, want 200", c.Workload, c.Backend, c.Result)
+			}
+		}
+		if c.InPaper {
+			inPaper++
+		}
+	}
+	// Exactly the four cells the paper's evaluation measured: Figure
+	// 7's two filters and Table 3's two LibCGI models.
+	if inPaper != 4 {
+		t.Errorf("in-paper cells = %d, want 4", inPaper)
+	}
+}
+
+func TestMatrixDeterministic(t *testing.T) {
+	a, err := MeasureMatrix(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureMatrix(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Errorf("cell %s x %s differs across runs: %+v vs %+v",
+				a.Cells[i].Workload, a.Cells[i].Backend, a.Cells[i], b.Cells[i])
+		}
+	}
+}
+
+func TestMatrixBackendRestriction(t *testing.T) {
+	rep, err := MeasureMatrix(3, []string{"bpf", "palladium-kernel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("restricted cells = %d, want 4", len(rep.Cells))
+	}
+	var out strings.Builder
+	RenderMatrix(&out, rep)
+	for _, want := range []string{"packet-filter", "libcgi", "palladium-kernel", "*"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestMatrixOrderingConsistentWithPaper(t *testing.T) {
+	// The cross-mechanism claims the matrix must reproduce: the
+	// compiled in-kernel filter beats the interpreter (Figure 7) and
+	// the protected LibCGI call costs more than the unprotected one
+	// but nowhere near the RPC-style isolation (Table 2/3).
+	rep, err := MeasureMatrix(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(w, b string) *MatrixCell {
+		c := findCell(rep, w, b)
+		if c == nil || !c.Supported {
+			t.Fatalf("missing cell %s x %s", w, b)
+		}
+		return c
+	}
+	if bpfC, pal := cell("packet-filter", "bpf"), cell("packet-filter", "palladium-kernel"); bpfC.CyclesPerOp < 2*pal.CyclesPerOp {
+		t.Errorf("interpreted filter %v not >2x compiled %v", bpfC.CyclesPerOp, pal.CyclesPerOp)
+	}
+	unprot, prot := cell("libcgi", "direct"), cell("libcgi", "palladium-user")
+	if prot.CyclesPerOp <= unprot.CyclesPerOp {
+		t.Errorf("protected libcgi %v not above unprotected %v", prot.CyclesPerOp, unprot.CyclesPerOp)
+	}
+	if rpcCell := cell("libcgi", "rpc"); rpcCell.CyclesPerOp < 10*prot.CyclesPerOp {
+		t.Errorf("rpc libcgi %v not an order of magnitude above protected %v", rpcCell.CyclesPerOp, prot.CyclesPerOp)
+	}
+}

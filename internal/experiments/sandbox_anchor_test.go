@@ -1,0 +1,282 @@
+package experiments
+
+// Bit-identity anchors for the sandbox API redesign: every table and
+// figure that now flows through repro/sandbox is diffed, cell by cell
+// at full float precision, against a replication of the pre-redesign
+// entrypoints (ProtectedFunc.Call, App.CallUnprotected,
+// bpf.Interp.Run, System.Insmod + KernelExtensionFunc.Invoke,
+// rpc.Loopback.Call). The adapters must add zero simulated work.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bpf"
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/filter"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rpc"
+	"repro/sandbox"
+)
+
+// legacyTable2 is the pre-redesign Table 2 implementation: raw
+// CallUnprotected / ProtectedFunc.Call instead of sandbox extensions.
+func legacyTable2(sizes []int) ([]Table2Row, error) {
+	s, err := newSystem(cycles.Measured())
+	if err != nil {
+		return nil, err
+	}
+	a, err := newApp(s)
+	if err != nil {
+		return nil, err
+	}
+	h, err := a.SegDlopen(isa.MustAssemble("strrev", StrrevSrc))
+	if err != nil {
+		return nil, err
+	}
+	pf, err := a.SegDlsym(h, "strrev")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := a.Dlsym(h, "strrev")
+	if err != nil {
+		return nil, err
+	}
+	buf, err := a.SharedAlloc(mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	loop, err := rpc.NewLoopback(s.K)
+	if err != nil {
+		return nil, err
+	}
+	clock := s.Clock()
+	var rows []Table2Row
+	for _, n := range sizes {
+		str := strings.Repeat("ab", n/2)[:n]
+		if err := a.WriteString(buf, str); err != nil {
+			return nil, err
+		}
+		if _, err := a.CallUnprotected(raw, buf); err != nil {
+			return nil, err
+		}
+		unprot := clock.Span(func() {
+			if _, err2 := a.CallUnprotected(raw, buf); err2 != nil {
+				err = err2
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := pf.Call(buf); err != nil {
+			return nil, err
+		}
+		prot := clock.Span(func() {
+			if _, err2 := pf.Call(buf); err2 != nil {
+				err = err2
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rpcCyc := loop.Call(n, n, unprot)
+		rows = append(rows, Table2Row{
+			Size:        n,
+			Unprotected: clock.Micros(unprot),
+			Palladium:   clock.Micros(prot),
+			RPC:         clock.Micros(rpcCyc),
+		})
+	}
+	return rows, nil
+}
+
+func TestTable2BitIdenticalThroughSandbox(t *testing.T) {
+	sizes := []int{32, 64, 128, 256}
+	got, err := Table2(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyTable2(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("size %d: sandbox row %+v != pre-redesign row %+v", want[i].Size, got[i], want[i])
+		}
+	}
+}
+
+// legacyFigure7 is the pre-redesign Figure 7 implementation: the BPF
+// interpreter and the compiled kernel extension driven through their
+// mechanism-specific APIs, in exactly the order the filter package
+// performs them.
+func legacyFigure7(maxTerms int) ([]Figure7Point, error) {
+	s, err := newSystem(cycles.Measured())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.K.CreateProcess(); err != nil {
+		return nil, err
+	}
+	pkt := filter.MakeUDPPacket(1234, 53, 64)
+	clock := s.Clock()
+	var pts []Figure7Point
+	for n := 0; n <= maxTerms; n++ {
+		terms := filter.TermsTrueFor(pkt, n)
+
+		// Interpreted: validate + interpret over the full packet.
+		prog := bpf.Conjunction(terms)
+		if err := prog.Validate(); err != nil {
+			return nil, err
+		}
+		in := bpf.NewInterp(s.K.Clock)
+		imatch := func() error {
+			v, err := in.Run(prog, pkt)
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return fmt.Errorf("reject")
+			}
+			return nil
+		}
+
+		// Compiled: compile, insmod into a fresh segment, stage the
+		// header, invoke.
+		entry := fmt.Sprintf("anchor_pf_%d", n)
+		text, err := bpf.Compile(prog, entry, "shared_area")
+		if err != nil {
+			return nil, err
+		}
+		obj, err := isa.Assemble(entry, text+"\n.data\n.global shared_area\nshared_area: .space 2048\n")
+		if err != nil {
+			return nil, err
+		}
+		seg, err := s.NewExtSegment(entry, 0)
+		if err != nil {
+			return nil, err
+		}
+		im, err := s.Insmod(seg, obj)
+		if err != nil {
+			return nil, err
+		}
+		fn, ok := s.ExtensionFunction(entry)
+		if !ok {
+			return nil, fmt.Errorf("%s not registered", entry)
+		}
+		off, ok := im.Lookup("shared_area")
+		if !ok {
+			return nil, fmt.Errorf("shared_area missing")
+		}
+		cmatch := func() error {
+			hdr := pkt[:filter.HeaderLen]
+			if err := s.WriteShared(seg, off, hdr); err != nil {
+				return err
+			}
+			v, err := fn.Invoke(uint32(len(hdr)))
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return fmt.Errorf("reject")
+			}
+			return nil
+		}
+
+		// MeasureMatch's warm-then-span, in the same order.
+		if err := imatch(); err != nil {
+			return nil, err
+		}
+		b := clock.Span(func() {
+			if err2 := imatch(); err2 != nil {
+				err = err2
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := cmatch(); err != nil {
+			return nil, err
+		}
+		p := clock.Span(func() {
+			if err2 := cmatch(); err2 != nil {
+				err = err2
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Figure7Point{Terms: n, BPF: b, Palladium: p})
+	}
+	return pts, nil
+}
+
+func TestFigure7BitIdenticalThroughSandbox(t *testing.T) {
+	got, err := Figure7(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyFigure7(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%d terms: sandbox point %+v != pre-redesign point %+v", want[i].Terms, got[i], want[i])
+		}
+	}
+}
+
+// TestKernelInvokeBitIdenticalThroughAdapter pins the adapter at the
+// single-invocation grain: the same extension function invoked
+// through sandbox.AdoptKernel costs exactly what a raw
+// KernelExtensionFunc.Invoke costs on a machine with identical
+// history.
+func TestKernelInvokeBitIdenticalThroughAdapter(t *testing.T) {
+	span := func(adapted bool) float64 {
+		s, err := core.NewSystem(cycles.Measured())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.K.CreateProcess(); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := s.NewExtSegment("m", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Insmod(seg, isa.MustAssemble("m", `
+			.global f
+			.text
+			f:
+				mov eax, [esp+4]
+				add eax, eax
+				ret
+		`)); err != nil {
+			t.Fatal(err)
+		}
+		fn, _ := s.ExtensionFunction("f")
+		call := func() (uint32, error) { return fn.Invoke(21) }
+		if adapted {
+			ext := sandbox.AdoptKernel(s, fn)
+			call = func() (uint32, error) { return ext.Invoke(21) }
+		}
+		if v, err := call(); err != nil || v != 42 {
+			t.Fatalf("warm call = %d, %v", v, err)
+		}
+		var err2 error
+		cyc := s.Clock().Span(func() { _, err2 = call() })
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		return cyc
+	}
+	raw, viaSandbox := span(false), span(true)
+	if raw != viaSandbox {
+		t.Errorf("raw invoke = %v cycles, sandbox invoke = %v cycles; want bit-identical", raw, viaSandbox)
+	}
+}

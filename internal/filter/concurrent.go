@@ -17,7 +17,7 @@ import (
 // simulator state.
 type fleetFilter struct {
 	s   *core.System
-	fil *Compiled
+	fil *Filter
 }
 
 // SimCycles implements fleet.Machine.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bpf"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/sandbox"
 )
 
 // HeaderLen is how many packet bytes the kernel stages into the
@@ -57,96 +58,60 @@ func TermsTrueFor(pkt []byte, n int) []bpf.Term {
 	return candidates[:n]
 }
 
-// Evaluator is a packet filter with a cycle-accounted Match.
+// Evaluator is a packet filter with a cycle-accounted Match. There is
+// exactly one implementation — *Filter, a sandbox.Extension plus a
+// staging policy — shared by the serial Figure 7 harness, the matrix
+// runner and the concurrent fleet, so every isolation mechanism's
+// filter goes through the same dispatch type.
 type Evaluator interface {
 	Match(pkt []byte) (bool, error)
 	Name() string
 }
 
-// Interpreted is the BPF baseline: the kernel interprets the filter
-// over the packet it already holds.
-type Interpreted struct {
-	In   *bpf.Interp
-	Prog bpf.Program
+// Filter adapts a sandbox.Extension to the packet-filter workload:
+// Match stages the packet into the extension's view and invokes it.
+type Filter struct {
+	name string
+	ext  sandbox.Extension
+	// Seg is the kernel extension segment confining the compiled
+	// filter (nil for backends without one); tests inspect its
+	// descriptors.
+	Seg *core.ExtSegment
+	// headerOnly stages only the HeaderLen-byte header, modeling the
+	// kernel copying packet headers into the extension's shared area;
+	// false hands the interpreter the packet the kernel already
+	// holds.
+	headerOnly bool
 }
 
-// NewInterpreted validates and installs an interpreted filter.
-func NewInterpreted(s *core.System, terms []bpf.Term) (*Interpreted, error) {
-	prog := bpf.Conjunction(terms)
-	if err := prog.Validate(); err != nil {
-		return nil, err
+// NewFilter wraps an arbitrary sandbox extension as a packet filter;
+// the matrix runner uses it to run the same filter program under
+// backends the paper never measured.
+func NewFilter(name string, ext sandbox.Extension, headerOnly bool) *Filter {
+	f := &Filter{name: name, ext: ext, headerOnly: headerOnly}
+	if seg, ok := ext.(interface{ Segment() *core.ExtSegment }); ok {
+		f.Seg = seg.Segment()
 	}
-	return &Interpreted{In: bpf.NewInterp(s.K.Clock), Prog: prog}, nil
+	return f
 }
 
-// Match implements Evaluator.
-func (f *Interpreted) Match(pkt []byte) (bool, error) {
-	v, err := f.In.Run(f.Prog, pkt)
-	return v != 0, err
-}
-
-// Name implements Evaluator.
-func (f *Interpreted) Name() string { return "BPF" }
-
-// compiledSeq disambiguates the entry symbols of compiled filters; it
-// is atomic because fleet workers on independent machines may compile
-// filters concurrently.
-var compiledSeq atomic.Int64
-
-// Compiled is the Palladium path: the filter compiled to native code
-// and loaded as a kernel extension; the kernel stages packet headers
-// into the extension's shared data area and invokes the filter as a
-// protected call.
-type Compiled struct {
-	S         *core.System
-	Seg       *core.ExtSegment
-	Fn        *core.KernelExtensionFunc
-	sharedOff uint32
-}
-
-// NewCompiled compiles the conjunction, insmods it into a fresh
-// extension segment and locates its shared area.
-func NewCompiled(s *core.System, terms []bpf.Term) (*Compiled, error) {
-	prog := bpf.Conjunction(terms)
-	entry := fmt.Sprintf("pfilter_%d", compiledSeq.Add(1))
-	text, err := bpf.Compile(prog, entry, "shared_area")
-	if err != nil {
-		return nil, err
+// Match implements Evaluator: stage the packet (or its header), then
+// invoke the extension with the staged byte count.
+func (f *Filter) Match(pkt []byte) (bool, error) {
+	b := pkt
+	if f.headerOnly {
+		n := HeaderLen
+		if n > len(pkt) {
+			n = len(pkt)
+		}
+		b = pkt[:n]
 	}
-	src := text + "\n.data\n.global shared_area\nshared_area: .space 2048\n"
-	obj, err := isa.Assemble(entry, src)
-	if err != nil {
-		return nil, fmt.Errorf("filter: assembling compiled filter: %w", err)
+	if st, ok := f.ext.(sandbox.Stager); ok {
+		if err := st.Stage(b); err != nil {
+			return false, err
+		}
 	}
-	seg, err := s.NewExtSegment(entry, 0)
-	if err != nil {
-		return nil, err
-	}
-	im, err := s.Insmod(seg, obj)
-	if err != nil {
-		return nil, err
-	}
-	fn, ok := s.ExtensionFunction(entry)
-	if !ok {
-		return nil, fmt.Errorf("filter: %s not registered", entry)
-	}
-	off, ok := im.Lookup("shared_area")
-	if !ok {
-		return nil, fmt.Errorf("filter: shared_area symbol missing")
-	}
-	return &Compiled{S: s, Seg: seg, Fn: fn, sharedOff: off}, nil
-}
-
-// Match implements Evaluator: stage the header, invoke the extension.
-func (f *Compiled) Match(pkt []byte) (bool, error) {
-	n := HeaderLen
-	if n > len(pkt) {
-		n = len(pkt)
-	}
-	if err := f.S.WriteShared(f.Seg, f.sharedOff, pkt[:n]); err != nil {
-		return false, err
-	}
-	v, err := f.Fn.Invoke(uint32(n))
+	v, err := f.ext.Invoke(uint32(len(b)))
 	if err != nil {
 		return false, err
 	}
@@ -154,7 +119,69 @@ func (f *Compiled) Match(pkt []byte) (bool, error) {
 }
 
 // Name implements Evaluator.
-func (f *Compiled) Name() string { return "Palladium" }
+func (f *Filter) Name() string { return f.name }
+
+// Extension exposes the backing sandbox extension.
+func (f *Filter) Extension() sandbox.Extension { return f.ext }
+
+// NewInterpreted validates and installs an interpreted filter: the
+// bpf sandbox backend, the kernel interpreting the filter over the
+// packet it already holds.
+func NewInterpreted(s *core.System, terms []bpf.Term) (*Filter, error) {
+	b, err := sandbox.Open("bpf", sandbox.HostFor(s))
+	if err != nil {
+		return nil, err
+	}
+	ext, err := b.Load(nil, sandbox.LoadOptions{BPF: bpf.Conjunction(terms)})
+	if err != nil {
+		return nil, err
+	}
+	return NewFilter("BPF", ext, false), nil
+}
+
+// compiledSeq disambiguates the entry symbols of compiled filters; it
+// is atomic because fleet workers on independent machines may compile
+// filters concurrently.
+var compiledSeq atomic.Int64
+
+// CompileObject compiles the conjunction for the given terms to a
+// native extension object whose entry reads staged packet bytes from
+// the `shared_area` module symbol — loadable under any native
+// backend. It returns the object and its entry symbol.
+func CompileObject(terms []bpf.Term) (*isa.Object, string, error) {
+	prog := bpf.Conjunction(terms)
+	entry := fmt.Sprintf("pfilter_%d", compiledSeq.Add(1))
+	text, err := bpf.Compile(prog, entry, "shared_area")
+	if err != nil {
+		return nil, "", err
+	}
+	src := text + "\n.data\n.global shared_area\nshared_area: .space 2048\n"
+	obj, err := isa.Assemble(entry, src)
+	if err != nil {
+		return nil, "", fmt.Errorf("filter: assembling compiled filter: %w", err)
+	}
+	return obj, entry, nil
+}
+
+// NewCompiled compiles the conjunction and loads it through the
+// palladium-kernel sandbox backend: a fresh extension segment, the
+// module insmod'ed into it, packet headers staged into its shared
+// area by the kernel.
+func NewCompiled(s *core.System, terms []bpf.Term) (*Filter, error) {
+	obj, entry, err := CompileObject(terms)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sandbox.Open("palladium-kernel", sandbox.HostFor(s))
+	if err != nil {
+		return nil, err
+	}
+	ext, err := b.Load(obj, sandbox.LoadOptions{Entry: entry, SharedSymbol: "shared_area"})
+	if err != nil {
+		return nil, err
+	}
+	return NewFilter("Palladium", ext, true), nil
+}
 
 // MeasureMatch returns the cycles one Match consumes (after a warm-up
 // call, as in the paper's cache-warm methodology).

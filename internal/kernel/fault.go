@@ -68,8 +68,14 @@ func (k *Kernel) HandleFault(p *Process, f *mmu.Fault) FaultDisposition {
 			return SignalDelivered
 		}
 		if f.CPL == 1 {
-			// Kernel extension faulting on a page-level check.
-			k.Clock.Add(k.Costs.GPHandler - k.Costs.PFHandler)
+			// Kernel extension faulting on a page-level check (an
+			// access inside its segment limit to a page that was never
+			// mapped): the PF handler path was already charged above;
+			// the kernel aborts the offender like any other extension
+			// fault. (This leg used to charge GPHandler - PFHandler,
+			// a negative number that panicked the clock — it was
+			// unreachable until the sandbox taxonomy tests exercised
+			// it.)
 			return KernelExtensionFault
 		}
 		return Fatal

@@ -15,11 +15,13 @@ package webserver
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/sandbox"
 )
 
 // Model selects the request execution model.
@@ -125,6 +127,14 @@ type Server struct {
 	scriptRaw uint32 // unprotected entry address
 	shared    uint32
 	cgiProc   *kernel.Process
+
+	// The LibCGI script through the unified sandbox API: the same
+	// loaded module adopted as a direct-backend extension (the
+	// unprotected model) and as a palladium-user extension (the
+	// protected model). Both wrap the handles loaded above, so
+	// adopting them adds no simulated work to the boot.
+	extDirect sandbox.Extension
+	extProt   sandbox.Extension
 }
 
 // New builds the server and loads the LibCGI script both as a
@@ -159,6 +169,8 @@ func New(s *core.System, fileSize uint32) (*Server, error) {
 	if srv.cgiProc, err = s.K.CreateProcess(); err != nil {
 		return nil, err
 	}
+	srv.extDirect = sandbox.AdoptDirect(app, "cgi_script", srv.scriptRaw)
+	srv.extProt = sandbox.AdoptProtected(srv.script)
 	return srv, nil
 }
 
@@ -183,16 +195,47 @@ func (srv *Server) Clone() (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	script2 := srv.script.Rebind(app2)
 	return &Server{
 		S: s2, Costs: srv.Costs, FileSize: srv.FileSize,
 		NetBandwidthMbps: srv.NetBandwidthMbps,
 
 		app:       app2,
-		script:    srv.script.Rebind(app2),
+		script:    script2,
 		scriptRaw: srv.scriptRaw,
 		shared:    srv.shared,
 		cgiProc:   s2.K.Process(srv.cgiProc.PID),
+
+		extDirect: sandbox.AdoptDirect(app2, "cgi_script", srv.scriptRaw),
+		extProt:   sandbox.AdoptProtected(script2),
 	}, nil
+}
+
+// modelHandlers is the execution-model registry: ServeRequest
+// dispatches by lookup, and the two LibCGI models invoke the script
+// through its sandbox extensions — the same registry-lookup shape the
+// matrix runner uses, with no per-model switch to extend. modelMu
+// guards it because fleet workers call ServeRequest concurrently
+// while RegisterModel may install new models.
+var (
+	modelMu       sync.RWMutex
+	modelHandlers = map[Model]func(*Server) (int, error){
+		Static:          (*Server).serveStatic,
+		CGI:             (*Server).serveCGI,
+		FastCGI:         (*Server).serveFastCGI,
+		LibCGI:          (*Server).serveLibCGI,
+		LibCGIProtected: (*Server).serveLibCGIProtected,
+	}
+)
+
+// RegisterModel installs (or replaces) the handler for an execution
+// model; new serving models can hook into ServeRequest without
+// touching the server. The registry is package-global: a registered
+// model is visible to every Server.
+func RegisterModel(m Model, h func(*Server) (int, error)) {
+	modelMu.Lock()
+	defer modelMu.Unlock()
+	modelHandlers[m] = h
 }
 
 // ServeRequest executes one request under the given model, charging
@@ -201,68 +244,85 @@ func (srv *Server) ServeRequest(m Model) (int, error) {
 	k := srv.S.K
 	c := srv.Costs
 	k.Clock.Add(c.BaseRequest + c.PerByte*float64(srv.FileSize))
-	switch m {
-	case Static:
-		return 200, nil
-
-	case CGI:
-		// Fresh process per request: real fork + exec costs plus the
-		// modeled pipe/wait/teardown path.
-		child, err := k.Fork(srv.cgiProc)
-		if err != nil {
-			return 0, err
-		}
-		if err := k.Exec(child); err != nil {
-			return 0, err
-		}
-		k.Clock.Add(c.CGIEnv + c.CGIProcessExtra)
-		k.Exit(child, 0)
-		return 200, nil
-
-	case FastCGI:
-		k.Clock.Add(c.CGIEnv + c.FastCGIRoundTrip)
-		return 200, nil
-
-	case LibCGI:
-		k.Clock.Add(c.CGIEnv)
-		// Request passed by pointer: no staging copies needed.
-		if err := srv.app.WriteMem(srv.shared, leWord(srv.FileSize)); err != nil {
-			return 0, err
-		}
-		status, err := srv.app.CallUnprotected(srv.scriptRaw, srv.shared)
-		if err != nil {
-			return 0, err
-		}
-		return int(status), nil
-
-	case LibCGIProtected:
-		k.Clock.Add(c.CGIEnv)
-		// Stage the CGI meta-variables into the shared area and
-		// expose it for the duration of the call, then hide it again
-		// — the per-request PPL marking and copying that Section
-		// 4.4.1 warns about ("may also lead to additional data
-		// copying unless the shared data is carefully placed").
-		env := make([]byte, c.EnvBytes)
-		copy(env, leWord(srv.FileSize))
-		if err := srv.app.WriteMem(srv.shared, env); err != nil {
-			return 0, err
-		}
-		if err := k.SetRange(srv.app.P, srv.shared, 1, true); err != nil {
-			return 0, err
-		}
-		status, err := srv.script.Call(srv.shared)
-		if err != nil {
-			return 0, err
-		}
-		if _, err := srv.app.ReadMem(srv.shared+4, 8); err != nil { // response meta
-			return 0, err
-		}
-		if err := k.SetRange(srv.app.P, srv.shared, 1, false); err != nil {
-			return 0, err
-		}
-		return int(status), nil
+	modelMu.RLock()
+	h, ok := modelHandlers[m]
+	modelMu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("webserver: unknown model %v", m)
 	}
-	return 0, fmt.Errorf("webserver: unknown model %v", m)
+	return h(srv)
+}
+
+// serveStatic serves the file directly (no CGI invocation at all).
+func (srv *Server) serveStatic() (int, error) { return 200, nil }
+
+// serveCGI runs a fresh process per request: real fork + exec costs
+// plus the modeled pipe/wait/teardown path.
+func (srv *Server) serveCGI() (int, error) {
+	k, c := srv.S.K, srv.Costs
+	child, err := k.Fork(srv.cgiProc)
+	if err != nil {
+		return 0, err
+	}
+	if err := k.Exec(child); err != nil {
+		return 0, err
+	}
+	k.Clock.Add(c.CGIEnv + c.CGIProcessExtra)
+	k.Exit(child, 0)
+	return 200, nil
+}
+
+// serveFastCGI reaches the persistent script process over a local
+// socket.
+func (srv *Server) serveFastCGI() (int, error) {
+	srv.S.K.Clock.Add(srv.Costs.CGIEnv + srv.Costs.FastCGIRoundTrip)
+	return 200, nil
+}
+
+// serveLibCGI calls the script as an unprotected in-process function
+// (the direct sandbox backend).
+func (srv *Server) serveLibCGI() (int, error) {
+	srv.S.K.Clock.Add(srv.Costs.CGIEnv)
+	// Request passed by pointer: no staging copies needed.
+	if err := srv.app.WriteMem(srv.shared, leWord(srv.FileSize)); err != nil {
+		return 0, err
+	}
+	status, err := srv.extDirect.Invoke(srv.shared)
+	if err != nil {
+		return 0, err
+	}
+	return int(status), nil
+}
+
+// serveLibCGIProtected calls the script as a Palladium user-level
+// extension (the palladium-user sandbox backend): the CGI
+// meta-variables are staged into the shared area and exposed for the
+// duration of the call, then hidden again — the per-request PPL
+// marking and copying that Section 4.4.1 warns about ("may also lead
+// to additional data copying unless the shared data is carefully
+// placed").
+func (srv *Server) serveLibCGIProtected() (int, error) {
+	k, c := srv.S.K, srv.Costs
+	k.Clock.Add(c.CGIEnv)
+	env := make([]byte, c.EnvBytes)
+	copy(env, leWord(srv.FileSize))
+	if err := srv.app.WriteMem(srv.shared, env); err != nil {
+		return 0, err
+	}
+	if err := k.SetRange(srv.app.P, srv.shared, 1, true); err != nil {
+		return 0, err
+	}
+	status, err := srv.extProt.Invoke(srv.shared)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := srv.app.ReadMem(srv.shared+4, 8); err != nil { // response meta
+		return 0, err
+	}
+	if err := k.SetRange(srv.app.P, srv.shared, 1, false); err != nil {
+		return 0, err
+	}
+	return int(status), nil
 }
 
 func leWord(v uint32) []byte {

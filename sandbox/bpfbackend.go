@@ -1,0 +1,58 @@
+package sandbox
+
+import (
+	"repro/internal/bpf"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+func init() {
+	Register("bpf", func(h *Host) (Backend, error) {
+		return &bpfBackend{h: h}, nil
+	})
+}
+
+// bpfBackend is the interpretation baseline (Section 2.1): the
+// in-kernel BPF virtual machine. Its whole protection story is the
+// static validator plus the interpreter's own correctness, which the
+// taxonomy reflects — unsafe programs are ValidationReject at load
+// time and a validated program cannot violate a segment or page at
+// all. The cost structure survives too: every virtual instruction
+// pays dispatch, which is why Figure 7's interpreted curve grows with
+// the number of filter terms.
+type bpfBackend struct{ h *Host }
+
+// Name implements Backend.
+func (b *bpfBackend) Name() string { return "bpf" }
+
+// Load implements Backend. The program arrives in opts.BPF; obj is
+// ignored (interpretation loads bytecode, not native objects).
+func (b *bpfBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, error) {
+	_ = obj
+	if len(opts.BPF) == 0 {
+		return nil, rejectf("bpf", "no BPF program (LoadOptions.BPF)")
+	}
+	prog := opts.BPF
+	if err := prog.Validate(); err != nil {
+		return nil, classify("bpf", "load", err)
+	}
+	in := bpf.NewInterp(b.h.Sys.K.Clock)
+	e := &extBase{h: b.h, backend: "bpf", entry: "bpf", bound: opts.AsyncBound}
+	var staged []byte
+	e.stage = func(bts []byte) error {
+		staged = append(staged[:0], bts...)
+		return nil
+	}
+	e.doInvoke = func(arg uint32, cfg *InvokeConfig) (uint32, error) {
+		clock := b.h.Sys.K.Clock
+		start := clock.Cycles()
+		v, err := in.Run(prog, staged)
+		if err == nil && cfg.TimeLimit > 0 && clock.Cycles()-start > cfg.TimeLimit {
+			// The interpreter is a cost model: it cannot be preempted
+			// mid-run, so the budget is enforced on the priced span.
+			return 0, core.ErrTimeLimit
+		}
+		return v, err
+	}
+	return e, nil
+}

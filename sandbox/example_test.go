@@ -1,0 +1,63 @@
+package sandbox_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/sandbox"
+)
+
+// ExampleOpen loads one extension object under two isolation
+// mechanisms by name and shows the unified fault taxonomy: the same
+// out-of-bounds store is a page violation for a user-level extension
+// and a segment violation for a kernel extension.
+func ExampleOpen() {
+	src := `
+		.global probe
+		.text
+		probe:
+			mov eax, [esp+4]
+			cmp eax, 0
+			jne oob
+			mov eax, 42
+			ret
+		oob:
+			mov ecx, 134217728    ; 0x08000000: outside every domain
+			mov [ecx], eax
+			ret
+	`
+	for _, backend := range []string{"palladium-user", "palladium-kernel"} {
+		host, err := sandbox.NewHost()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if _, err := host.Sys.K.CreateProcess(); err != nil {
+			fmt.Println(err)
+			return
+		}
+		b, err := sandbox.Open(backend, host)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		ext, err := b.Load(isa.MustAssemble("probe", src), sandbox.LoadOptions{Entry: "probe"})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		v, err := ext.Invoke(0) // benign path
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		_, err = ext.Invoke(1) // out-of-bounds write
+		var f *sandbox.Fault
+		errors.As(err, &f)
+		fmt.Printf("%s: benign=%d out-of-bounds=%v\n", b.Name(), v, f.Class)
+	}
+	// Output:
+	// palladium-user: benign=42 out-of-bounds=page-violation
+	// palladium-kernel: benign=42 out-of-bounds=segment-violation
+}
