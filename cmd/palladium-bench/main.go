@@ -14,6 +14,9 @@
 //	palladium-bench -snapshot      # template-boot+clone vs serial fleet boots
 //	palladium-bench -matrix        # workload x backend matrix (BENCH_matrix.json)
 //	palladium-bench -matrix -backend sfi,bpf   # restrict the matrix's backends
+//	palladium-bench -table 3 -cpuprofile cpu.prof -memprofile mem.prof
+//	                               # profile any run (std runtime/pprof files;
+//	                               # inspect with `go tool pprof`)
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -44,12 +49,41 @@ func main() {
 	matrixJSON := flag.String("matrix-json", "BENCH_matrix.json", "write the -matrix report to this JSON file")
 	requests := flag.Int("requests", 100, "requests per Table 3 cell")
 	calls := flag.Int("calls", 1000, "protected calls for the -interp workload")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	flag.Parse()
 
 	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun && !*matrixRun
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "palladium-bench:", err)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "palladium-bench:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if all || *table == 1 {

@@ -268,6 +268,12 @@ func (a *App) ReadMem(addr uint32, n int) ([]byte, error) {
 	return a.S.K.CopyFromUser(a.P, addr, n)
 }
 
+// ReadMemInto reads len(buf) bytes at addr into a caller-owned buffer
+// without allocating; the charges are identical to ReadMem's.
+func (a *App) ReadMemInto(addr uint32, buf []byte) error {
+	return a.S.K.CopyFromUserInto(a.P, addr, buf)
+}
+
 // WriteString writes a NUL-terminated string.
 func (a *App) WriteString(addr uint32, s string) error {
 	return a.WriteMem(addr, append([]byte(s), 0))
@@ -358,15 +364,11 @@ func (pf *ProtectedFunc) Call(arg uint32) (uint32, error) {
 	m.SetBreak(appRetBreak)
 	defer m.ClearBreak(appRetBreak)
 
-	// Arm the per-invocation CPU-time limit (Section 4.5.2).
-	deadline := k.Clock.Cycles() + k.ExtTimeLimit
-	cancel := k.OnTimerTick(func() error {
-		if k.Clock.Cycles() > deadline {
-			return ErrTimeLimit
-		}
-		return nil
-	})
-	defer cancel()
+	// Arm the per-invocation CPU-time limit (Section 4.5.2). The
+	// kernel's built-in limiter replaces a per-call tick-subscriber
+	// closure, keeping the steady-state serving path allocation-free.
+	prevLimit := k.ArmExtLimit(k.Clock.Cycles() + k.ExtTimeLimit)
+	defer k.DisarmExtLimit(prevLimit)
 
 	for {
 		res := m.Run(cpu.RunLimits{MaxInstructions: a.maxInstr})
@@ -387,7 +389,7 @@ func (pf *ProtectedFunc) Call(arg uint32) (uint32, error) {
 				return 0, res.Fault
 			}
 		case cpu.StopError:
-			if errors.Is(res.Err, ErrTimeLimit) {
+			if errors.Is(res.Err, kernel.ErrExtTimeBudget) || errors.Is(res.Err, ErrTimeLimit) {
 				k.DeliverSignal(a.P, kernel.SignalInfo{Sig: kernel.SIGXCPU, Reason: "extension time limit"})
 				return 0, ErrTimeLimit
 			}

@@ -212,38 +212,59 @@ func (seg *ExtSegment) AllocRange(size uint32, name string, writable, ppl1 bool)
 // resource; only placement within the segment is recycled.
 func (seg *ExtSegment) FreeRange(addr uint32) error { return seg.ranges.release(addr) }
 
-// Write implements loader.Space.
+// Write implements loader.Space. The copy proceeds page-wise: one
+// segment-offset translation per page instead of one per byte, with
+// the simulated charge unchanged.
 func (seg *ExtSegment) Write(addr uint32, b []byte) error {
-	for i, v := range b {
-		pa, err := seg.physAt(addr + uint32(i))
+	total := len(b)
+	err := mem.ForEachPageRun(addr, total, func(off uint32, n int) error {
+		pa, err := seg.physAt(off)
 		if err != nil {
 			return err
 		}
-		seg.S.K.Phys.Write8(pa, v)
+		seg.S.K.Phys.WriteBytes(pa, b[:n])
+		b = b[n:]
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	seg.S.K.Clock.Add(seg.S.K.Costs.CopyPerByte * float64(len(b)))
+	seg.S.K.Clock.Add(seg.S.K.Costs.CopyPerByte * float64(total))
 	return nil
 }
 
-// InstallText implements loader.Space.
+// InstallText implements loader.Space, one page-contiguous run at a
+// time (one translation and one block-cache invalidation per page).
 func (seg *ExtSegment) InstallText(addr uint32, text []isa.Instr) error {
-	for i := range text {
-		pa, err := seg.physAt(addr + uint32(i)*isa.InstrSlot)
+	for i := 0; i < len(text); {
+		off := addr + uint32(i)*isa.InstrSlot
+		pa, err := seg.physAt(off)
 		if err != nil {
 			return err
 		}
-		seg.S.K.Machine.InstallCode(pa, text[i:i+1])
+		n := int((mem.PageSize - pa&mem.PageMask) / isa.InstrSlot)
+		if n > len(text)-i {
+			n = len(text) - i
+		}
+		seg.S.K.Machine.InstallCode(pa, text[i:i+n])
+		i += n
 	}
 	return nil
 }
 
 // RemoveText implements loader.Space.
 func (seg *ExtSegment) RemoveText(addr uint32, n int) error {
-	for i := 0; i < n; i++ {
-		pa, err := seg.physAt(addr + uint32(i)*isa.InstrSlot)
-		if err == nil {
-			seg.S.K.Machine.RemoveCode(pa, 1)
+	for i := 0; i < n; {
+		off := addr + uint32(i)*isa.InstrSlot
+		c := 1
+		if pa, err := seg.physAt(off); err == nil {
+			c = int((mem.PageSize - pa&mem.PageMask) / isa.InstrSlot)
+			if c > n-i {
+				c = n - i
+			}
+			seg.S.K.Machine.RemoveCode(pa, c)
 		}
+		i += c
 	}
 	return nil
 }
@@ -302,21 +323,32 @@ func (ks *kernelTextSpace) Write(addr uint32, b []byte) error {
 }
 
 func (ks *kernelTextSpace) InstallText(addr uint32, text []isa.Instr) error {
-	for i := range text {
+	for i := 0; i < len(text); {
 		pa, err := ks.phys(addr + uint32(i)*isa.InstrSlot)
 		if err != nil {
 			return err
 		}
-		ks.s.K.Machine.InstallCode(pa, text[i:i+1])
+		n := int((mem.PageSize - pa&mem.PageMask) / isa.InstrSlot)
+		if n > len(text)-i {
+			n = len(text) - i
+		}
+		ks.s.K.Machine.InstallCode(pa, text[i:i+n])
+		i += n
 	}
 	return nil
 }
 
 func (ks *kernelTextSpace) RemoveText(addr uint32, n int) error {
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; {
+		c := 1
 		if pa, err := ks.phys(addr + uint32(i)*isa.InstrSlot); err == nil {
-			ks.s.K.Machine.RemoveCode(pa, 1)
+			c = int((mem.PageSize - pa&mem.PageMask) / isa.InstrSlot)
+			if c > n-i {
+				c = n - i
+			}
+			ks.s.K.Machine.RemoveCode(pa, c)
 		}
+		i += c
 	}
 	return nil
 }
@@ -405,20 +437,31 @@ func (s *System) SharedAreaAddr(im *loader.Image, seg *ExtSegment, symbol string
 // an extension's shared data area; each access sequence pays the
 // segment-register reload the paper measures at 12 cycles.
 func (s *System) ReadShared(seg *ExtSegment, off uint32, n int) ([]byte, error) {
-	var es mmu.Selector
-	if f := s.K.Machine.LoadSegReg(&es, seg.Data); f != nil {
-		return nil, f
-	}
-	s.K.Clock.Add(s.K.Costs.CopyPerByte * float64(n))
 	out := make([]byte, n)
-	for i := range out {
-		pa, err := seg.physAt(off + uint32(i))
-		if err != nil {
-			return nil, err
-		}
-		out[i] = s.K.Phys.Read8(pa)
+	if err := s.ReadSharedInto(seg, off, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ReadSharedInto is ReadShared into a caller-owned buffer (steady-
+// state paths reuse one buffer across calls); the segment-register
+// reload and per-byte charges are identical.
+func (s *System) ReadSharedInto(seg *ExtSegment, off uint32, buf []byte) error {
+	var es mmu.Selector
+	if f := s.K.Machine.LoadSegReg(&es, seg.Data); f != nil {
+		return f
+	}
+	s.K.Clock.Add(s.K.Costs.CopyPerByte * float64(len(buf)))
+	return mem.ForEachPageRun(off, len(buf), func(o uint32, n int) error {
+		pa, err := seg.physAt(o)
+		if err != nil {
+			return err
+		}
+		copy(buf[:n], s.K.Phys.FrameView(pa &^ uint32(mem.PageMask))[pa&mem.PageMask:])
+		buf = buf[n:]
+		return nil
+	})
 }
 
 // WriteShared writes into an extension segment's shared area.
@@ -502,14 +545,8 @@ func (f *KernelExtensionFunc) invoke(arg uint32, tx bool) (uint32, error) {
 		return 0, fault
 	}
 
-	deadline := k.Clock.Cycles() + k.ExtTimeLimit
-	cancel := k.OnTimerTick(func() error {
-		if k.Clock.Cycles() > deadline {
-			return ErrTimeLimit
-		}
-		return nil
-	})
-	defer cancel()
+	prevLimit := k.ArmExtLimit(k.Clock.Cycles() + k.ExtTimeLimit)
+	defer k.DisarmExtLimit(prevLimit)
 
 	for {
 		res := m.Run(cpu.RunLimits{MaxInstructions: 10_000_000})
@@ -524,7 +561,7 @@ func (f *KernelExtensionFunc) invoke(arg uint32, tx bool) (uint32, error) {
 				k.Clock.Charge(k.Model, cycles.RetNear)
 				return m.Reg(isa.EAX), nil
 			}
-			if errors.Is(res.Err, ErrTimeLimit) {
+			if errors.Is(res.Err, kernel.ErrExtTimeBudget) || errors.Is(res.Err, ErrTimeLimit) {
 				return 0, fail(ErrTimeLimit)
 			}
 			return 0, res.Err

@@ -38,9 +38,11 @@ func newStubArena(space loader.Space, name string, size uint32) (*stubArena, err
 }
 
 // add assembles src, places it at the arena cursor, and returns the
-// absolute addresses of its text symbols.
+// absolute addresses of its text symbols. Stub sources recur verbatim
+// across boots (the baked-in addresses are deterministic per layout),
+// so assembly is memoized.
 func (a *stubArena) add(name, src string) (map[string]uint32, error) {
-	obj, err := isa.Assemble(name, src)
+	obj, err := isa.AssembleCached(name, src)
 	if err != nil {
 		return nil, fmt.Errorf("palladium: stub %s: %w", name, err)
 	}

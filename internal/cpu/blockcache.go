@@ -1,34 +1,59 @@
 package cpu
 
 import (
+	"repro/internal/cycles"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/mmu"
 )
 
 // The decoded-block cache removes the per-instruction map lookups and
-// segment walks from Run's hot loop. A block is a straight-line run of
-// predecoded instructions starting at a linear EIP; the segment-level
-// fetch checks (code-segment type, DPL, limit) are performed once at
-// build time and revalidated wholesale through cache invalidation,
-// while the page-level check — the one with architecturally visible
-// side effects (TLB hit/miss statistics, page-walk cycle charges,
-// page-privilege faults) — still runs per executed instruction, so
-// cycle and TLB accounting is bit-for-bit what the uncached
-// interpreter produced.
+// segment walks from Run's hot loop; since the threaded-code tier it
+// also removes the per-instruction opcode dispatch (each slot carries a
+// pre-bound closure, see translate.go), batches the timer-deadline
+// check behind a per-block worst-case cycle bound (maxPrefix), takes a
+// same-page fast path for the page-level fetch check (fetches on the
+// page the previous fetch translated reuse its frame, counting the
+// guaranteed TLB hit through mmu.FastFetchHit), and chains hot blocks directly
+// to their successors so steady-state loops never consult the breaks/
+// services/block maps at all.
+//
+// A block is a straight-line run of predecoded instructions starting at
+// a linear EIP; the segment-level fetch checks (code-segment type, DPL,
+// limit) are performed once at build time and revalidated wholesale
+// through cache invalidation, while the page-level check — the one with
+// architecturally visible side effects (TLB hit/miss statistics,
+// page-walk cycle charges, page-privilege faults) — still happens per
+// executed instruction (full CheckPage at every page-run head, counted
+// fast path within a page), so cycle and TLB accounting is bit-for-bit
+// what the uncached interpreter produced.
 //
 // Invalidation:
-//   - CR3 loads, single-page invalidations, LDT switches and GDT/LDT
-//     descriptor mutations advance mmu.TransGen, which is part of every
-//     block's tag (gen), killing all blocks at once.
+//   - LDT switches, GDT/LDT descriptor mutations and whole-image
+//     restores advance mmu.SegGen, which is part of every block's tag
+//     (gen), killing all blocks at once. Pure paging events (CR3
+//     loads, invlpg) advance only mmu.TransGen: they do not invalidate
+//     blocks — the live per-execution page check follows remaps
+//     lazily, exactly as the uncached interpreter would — but any such
+//     event fired from a timer hook makes the running chain bail out
+//     and re-dispatch from live state. Chain edges carry no generation
+//     of their own: a chained successor is revalidated against the
+//     live generation and the live cache slot on every follow, so
+//     whatever kills a block also unhooks every chain into it.
 //   - SetBreak/ClearBreak and RegisterService/UnregisterService
 //     invalidate exactly the cached blocks whose linear range covers
 //     the armed address (breakpoints and trusted endpoints must be
-//     honoured mid-run by the very next instruction).
+//     honoured mid-run by the very next instruction). Dropping the
+//     covering block from its cache slot is what severs chains to it.
 //   - InstallCode/RemoveCode invalidate the blocks whose decoded
 //     instructions came from any touched physical page, matched through
 //     a per-block page bloom filter (false positives only cost a
-//     rebuild).
+//     rebuild) behind a machine-wide aggregate bloom that rejects
+//     non-overlapping installs in O(1).
+//
+// Blocks whose generation is no longer current can never tag-match
+// again (the generation is monotonic), so the address- and page-keyed
+// invalidation scans skip them.
 const (
 	// blockCacheSize is the number of direct-mapped block slots.
 	blockCacheSize = 2048
@@ -36,12 +61,13 @@ const (
 	maxBlockLen = 128
 )
 
-// blockSlot is one predecoded instruction of a cached block.
+// blockSlot is one predecoded, pre-bound instruction of a cached block.
 type blockSlot struct {
-	ins *isa.Instr
-	eip uint32 // segment-relative address of the fetch
-	lin uint32 // linear address of the fetch
-	pa  uint32 // physical address the decode came from
+	ins  *isa.Instr
+	exec execFn // threaded-code closure (translate.go)
+	eip  uint32 // segment-relative address of the fetch
+	lin  uint32 // linear address of the fetch
+	pa   uint32 // physical address the decode came from
 }
 
 // codeBlock is a cached straight-line run. end is the linear address
@@ -49,10 +75,60 @@ type blockSlot struct {
 type codeBlock struct {
 	lin   uint32
 	end   uint32
+	base  uint32 // code-segment base at build time (lin - slots[0].eip)
 	cs    mmu.Selector
-	gen   uint64 // mmu.TransGen at build time
+	gen   uint64 // mmu.SegGen at build time
 	pages uint64 // bloom over the physical pages the decode read
 	slots []blockSlot
+
+	// maxPrefix[i] is the worst-case cycle charge of slots[0:i]
+	// (prefix sums of each slot's compile-time charge bound), used by
+	// tickHorizon to skip per-instruction deadline checks that
+	// provably cannot fire.
+	maxPrefix []float64
+
+	// Chain exits. fallLin is the linear address execution continues at
+	// when the block falls through (no terminal transfer, or a
+	// conditional branch not taken); takenLin is the target of the
+	// terminal direct transfer (jmp/jcc/call with an immediate target).
+	// A zero *OK flag means that exit is not chainable (indirect or far
+	// transfers, halts). succFall/succTaken cache the successor block
+	// last dispatched from that exit; they are hints revalidated on
+	// every follow.
+	fallLin   uint32
+	takenLin  uint32
+	fallOK    bool
+	takenOK   bool
+	succFall  *codeBlock
+	succTaken *codeBlock
+}
+
+// chainExit resolves the exit at linear target to this block's
+// chainable-edge hint (nil when the exit is not chainable or no
+// successor has been recorded yet).
+func (b *codeBlock) chainExit(target uint32) *codeBlock {
+	if b.fallOK && target == b.fallLin {
+		return b.succFall
+	}
+	if b.takenOK && target == b.takenLin {
+		return b.succTaken
+	}
+	return nil
+}
+
+// chainable reports whether the exit at linear target may be chained.
+func (b *codeBlock) chainable(target uint32) bool {
+	return (b.fallOK && target == b.fallLin) || (b.takenOK && target == b.takenLin)
+}
+
+// setSucc records the successor dispatched from the exit at target.
+func (b *codeBlock) setSucc(target uint32, succ *codeBlock) {
+	if b.fallOK && target == b.fallLin {
+		b.succFall = succ
+	}
+	if b.takenOK && target == b.takenLin {
+		b.succTaken = succ
+	}
 }
 
 // pageBloomBit maps a physical address to its bloom bit.
@@ -65,7 +141,7 @@ func blockIndex(lin uint32) uint32 {
 }
 
 // lookupBlock returns the cached block starting at lin under the
-// current code segment and translation generation, or nil.
+// current code segment and segment-check generation, or nil.
 func (m *Machine) lookupBlock(lin uint32, gen uint64) *codeBlock {
 	b := m.blocks[blockIndex(lin)]
 	if b != nil && b.lin == lin && b.cs == m.CS && b.gen == gen {
@@ -76,16 +152,17 @@ func (m *Machine) lookupBlock(lin uint32, gen uint64) *codeBlock {
 }
 
 // buildBlock decodes a straight-line run starting at CS:EIP (whose
-// linear address is lin) and caches it. It performs no charged or
-// counted work: segment checks are free in the cycle model, and page
-// translation uses MMU.PeekPage, so the charged, counted page check
-// still happens on every execution. Returns nil when not even the
-// first instruction is fetchable here — the caller then takes the
-// uncached path, which raises the appropriate fault with the
-// appropriate charges.
+// linear address is lin), compiles each instruction into its threaded
+// closure, and caches it. It performs no charged or counted work:
+// segment checks are free in the cycle model, and page translation
+// uses MMU.PeekPage, so the charged, counted page check still happens
+// on every execution. Returns nil when not even the first instruction
+// is fetchable here — the caller then takes the uncached path, which
+// raises the appropriate fault with the appropriate charges.
 func (m *Machine) buildBlock(lin uint32, gen uint64) *codeBlock {
 	cpl := m.CPL()
-	b := &codeBlock{lin: lin, cs: m.CS, gen: gen}
+	b := &codeBlock{lin: lin, cs: m.CS, gen: gen, base: lin - m.EIP,
+		maxPrefix: make([]float64, 1, 16)}
 	eip := m.EIP
 	for len(b.slots) < maxBlockLen {
 		flin, f := m.MMU.CheckSegment(m.CS, eip, isa.InstrSlot, mmu.Execute, cpl)
@@ -106,7 +183,20 @@ func (m *Machine) buildBlock(lin uint32, gen uint64) *codeBlock {
 		if ins == nil {
 			break
 		}
-		b.slots = append(b.slots, blockSlot{ins: ins, eip: eip, lin: flin, pa: pa})
+		fn, maxCharge := compile(ins, eip, m.Model)
+		if len(b.slots) == 0 ||
+			flin>>mem.PageShift != b.slots[len(b.slots)-1].lin>>mem.PageShift {
+			// Page-run head: executing this slot may also charge a
+			// fetch-side TLB-miss walk (the full CheckPage runs here;
+			// interior slots take the charge-free fast path, and a
+			// post-tick full re-check is a guaranteed hit). The walk
+			// must be inside the worst-case bound or the batched
+			// deadline check could skip a tick the uncached
+			// interpreter fires.
+			maxCharge += m.Model.Cost(cycles.TLBMiss)
+		}
+		b.slots = append(b.slots, blockSlot{ins: ins, exec: fn, eip: eip, lin: flin, pa: pa})
+		b.maxPrefix = append(b.maxPrefix, b.maxPrefix[len(b.maxPrefix)-1]+maxCharge)
 		b.pages |= pageBloomBit(pa)
 		if ins.Op.TransfersControl() {
 			break
@@ -116,7 +206,29 @@ func (m *Machine) buildBlock(lin uint32, gen uint64) *codeBlock {
 	if len(b.slots) == 0 {
 		return nil
 	}
-	b.end = b.slots[len(b.slots)-1].lin + isa.InstrSlot
+	last := &b.slots[len(b.slots)-1]
+	b.end = last.lin + isa.InstrSlot
+
+	// Chain-exit metadata. Only near transfers with immediate targets
+	// (and plain fall-through) are chainable: far transfers change the
+	// code segment, and indirect targets change per execution.
+	switch term := last.ins; {
+	case !term.Op.TransfersControl():
+		// Decode stopped at the length cap or a boundary: execution
+		// falls through to end.
+		b.fallLin, b.fallOK = b.end, true
+	case term.Op.IsFarTransfer():
+		// Far transfers change CS (and therefore the segment base the
+		// exit target would be derived from): never chained.
+	case term.Op == isa.JMP && term.Dst.Kind == isa.KindImm:
+		b.takenLin, b.takenOK = b.base+uint32(term.Dst.Imm), true
+	case term.Op == isa.CALL && term.Dst.Kind == isa.KindImm:
+		b.takenLin, b.takenOK = b.base+uint32(term.Dst.Imm), true
+	case term.Op.IsBranch():
+		b.takenLin, b.takenOK = b.base+uint32(term.Dst.Imm), true
+		b.fallLin, b.fallOK = b.end, true
+	}
+
 	m.bcBuilds++
 	idx := blockIndex(lin)
 	if m.blocks[idx] == nil {
@@ -133,19 +245,49 @@ func (m *Machine) buildBlock(lin uint32, gen uint64) *codeBlock {
 		m.blockMin = min(m.blockMin, b.lin)
 		m.blockMax = max(m.blockMax, b.end)
 	}
+	m.blocksBloom |= b.pages
 	m.blocks[idx] = b
 	return b
 }
 
+// tickHorizon returns the exclusive horizon h for deadline checks:
+// slots with index in [start, h) execute without a per-instruction
+// deadline check. Slot start itself is always exempt (the caller just
+// performed its check); a later slot j is exempt when the worst-case
+// charge prefix proves the clock cannot have reached deadline before
+// j begins (cyc + maxPrefix[j] - maxPrefix[start] < deadline). A
+// return of limit means the rest of the block is check-free.
+func (b *codeBlock) tickHorizon(cyc, deadline float64, start, limit int) int {
+	// maxPrefix is monotonic: binary-search the largest index whose
+	// prefix still fits under the deadline slack.
+	slack := deadline - cyc + b.maxPrefix[start]
+	lo, hi := start, limit
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if b.maxPrefix[mid] < slack {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if lo >= limit {
+		return limit
+	}
+	return lo + 1
+}
+
 // invalidateBlocksAt drops every cached block whose linear range
 // covers lin; used when a breakpoint or service endpoint is armed or
-// disarmed at that address.
+// disarmed at that address. Blocks from an older translation
+// generation are unreachable (lookup and chain validation both require
+// the live generation) and are skipped.
 func (m *Machine) invalidateBlocksAt(lin uint32) {
 	if m.liveBlocks == 0 || lin < m.blockMin || lin >= m.blockMax {
 		return
 	}
+	gen := m.MMU.SegGen()
 	for i, b := range &m.blocks {
-		if b != nil && b.lin <= lin && lin < b.end {
+		if b != nil && b.gen == gen && b.lin <= lin && lin < b.end {
 			m.blocks[i] = nil
 			m.liveBlocks--
 			m.bcInvalidations++
@@ -155,13 +297,17 @@ func (m *Machine) invalidateBlocksAt(lin uint32) {
 
 // invalidateBlocksByPages drops every cached block that may have
 // decoded instructions from a physical page in the bloom set; used
-// when code is installed or removed.
+// when code is installed or removed. The machine-wide aggregate bloom
+// (the union of every cached block's page set, conservatively stale
+// across invalidations) rejects non-overlapping installs without
+// scanning the cache.
 func (m *Machine) invalidateBlocksByPages(pages uint64) {
-	if m.liveBlocks == 0 {
+	if m.liveBlocks == 0 || m.blocksBloom&pages == 0 {
 		return
 	}
+	gen := m.MMU.SegGen()
 	for i, b := range &m.blocks {
-		if b != nil && b.pages&pages != 0 {
+		if b != nil && b.gen == gen && b.pages&pages != 0 {
 			m.blocks[i] = nil
 			m.liveBlocks--
 			m.bcInvalidations++
@@ -170,8 +316,9 @@ func (m *Machine) invalidateBlocksByPages(pages uint64) {
 }
 
 // clearBlockCache empties the decoded-block cache and resets the
-// invalidation envelope; used by snapshot restore (the restored image
-// may hold different code behind the same physical addresses).
+// invalidation envelope and aggregate page bloom; used by snapshot
+// restore (the restored image may hold different code behind the same
+// physical addresses).
 func (m *Machine) clearBlockCache() {
 	if m.liveBlocks == 0 {
 		return
@@ -181,10 +328,22 @@ func (m *Machine) clearBlockCache() {
 	}
 	m.liveBlocks = 0
 	m.blockMin, m.blockMax = 0, 0
+	m.blocksBloom = 0
 }
 
 // BlockCacheStats reports decoded-block cache counters: cached-block
-// executions, block builds, and explicit invalidations.
+// dispatches through the block map, block builds, and explicit
+// invalidations. Chained dispatches (which bypass the map) are
+// reported by ChainStats.
 func (m *Machine) BlockCacheStats() (hits, builds, invalidations uint64) {
 	return m.bcHits, m.bcBuilds, m.bcInvalidations
+}
+
+// ChainStats reports the specialized execution tier's counters:
+// chained block dispatches (successor followed directly, no break/
+// service/block-map consultation) and same-page fetch fast-path hits
+// (page-level fetch checks satisfied by the page-run head's
+// translation, each counted as a TLB hit).
+func (m *Machine) ChainStats() (chainHits, fastFetches uint64) {
+	return m.bcChainHits, m.bcFastFetches
 }

@@ -381,6 +381,7 @@ func BenchmarkRunHotLoop(b *testing.B) {
 	h.m.SetBreak(syms["stop"])
 	b.ResetTimer()
 	var instr uint64
+	chains0, fast0 := h.m.ChainStats()
 	for i := 0; i < b.N; i++ {
 		h.m.EIP = syms["entry"]
 		res := h.m.Run(RunLimits{})
@@ -390,4 +391,7 @@ func BenchmarkRunHotLoop(b *testing.B) {
 		instr += res.Instructions
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+	chains, fast := h.m.ChainStats()
+	b.ReportMetric(float64(chains-chains0)/float64(b.N), "chain-hits/op")
+	b.ReportMetric(float64(fast-fast0)/float64(instr)*100, "fastpath-pct")
 }

@@ -27,9 +27,14 @@ import (
 var diffRegs = []string{"eax", "ebx", "ecx", "edx", "esi", "edi"}
 
 // diffEvent is one scripted invalidation, applied by the timer hook at
-// an identical simulated cycle on both machines.
+// an identical simulated cycle on both machines. Kinds 4-6 are the
+// chain-hostile events: they strike while the specialized tier is
+// mid-chain — a CR3 reload (TLB flush + translation-generation bump
+// under a running chain), a RemoveCode over a chained successor (the
+// very next dispatch of that label must raise #UD), and a two-slot
+// InstallCode over a chained successor's entry and interior.
 type diffEvent struct {
-	kind  int   // 0 invlpg, 1 set break, 2 clear break, 3 install code
+	kind  int   // 0 invlpg, 1 set break, 2 clear break, 3 install code, 4 load cr3, 5 remove code, 6 install 2 slots
 	block int   // target block label index
 	imm   int32 // replacement immediate for install-code events
 }
@@ -121,7 +126,7 @@ func genEvents(rng *rand.Rand, nblocks int) []diffEvent {
 	events := make([]diffEvent, 2+rng.Intn(7))
 	for i := range events {
 		events[i] = diffEvent{
-			kind:  rng.Intn(4),
+			kind:  rng.Intn(7),
 			block: rng.Intn(nblocks),
 			imm:   rng.Int31n(1 << 20),
 		}
@@ -143,6 +148,26 @@ func applyEvent(h *harness, syms map[string]uint32, ev diffEvent) {
 		if pa, ok := h.m.MMU.PeekPage(lin); ok {
 			h.m.InstallCode(pa, []isa.Instr{
 				{Op: isa.MOV, Dst: isa.R(isa.EAX), Src: isa.I(ev.imm), Size: 4},
+			})
+		}
+	case 4:
+		// CR3 reload mid-chain: flushes the TLB (charged identically
+		// on both machines) and advances the translation generation
+		// under whatever chain is executing.
+		h.m.MMU.LoadCR3(h.as)
+	case 5:
+		// RemoveCode over a chained successor: the next dispatch of
+		// this label must raise #UD on both machines.
+		if pa, ok := h.m.MMU.PeekPage(lin); ok {
+			h.m.RemoveCode(pa, 1)
+		}
+	case 6:
+		// Two-slot install over a chained successor's entry and
+		// interior.
+		if pa, ok := h.m.MMU.PeekPage(lin); ok {
+			h.m.InstallCode(pa, []isa.Instr{
+				{Op: isa.MOV, Dst: isa.R(isa.EBX), Src: isa.I(ev.imm), Size: 4},
+				{Op: isa.NOP},
 			})
 		}
 	}

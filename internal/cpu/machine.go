@@ -143,9 +143,25 @@ type Machine struct {
 	blocks             [blockCacheSize]*codeBlock
 	liveBlocks         int
 	blockMin, blockMax uint32 // linear envelope over live blocks
+	blocksBloom        uint64 // aggregate page bloom over cached blocks
 	bcHits             uint64
 	bcBuilds           uint64
 	bcInvalidations    uint64
+	bcChainHits        uint64 // chained block dispatches
+	bcFastFetches      uint64 // same-page fetch fast-path hits
+
+	// Conservative linear envelopes over the armed breakpoints and
+	// registered services, so Run's dispatch loop can reject both maps
+	// with two compares instead of map probes. They grow on arm and
+	// re-anchor when their map empties.
+	brkLo, brkHi uint32 // inclusive envelope; valid while len(breaks) > 0
+	svcLo, svcHi uint32 // inclusive envelope; valid while len(services) > 0
+
+	// Segment probes for the stack primitives (one per access kind;
+	// see mmu.SegProbe). Probe hits skip only uncharged, uncounted
+	// segment checks, so Push/Pop/Peek accounting is unchanged.
+	pushProbe mmu.SegProbe
+	popProbe  mmu.SegProbe
 }
 
 // ClearHalt re-arms the machine after a HLT.
@@ -268,6 +284,12 @@ func (m *Machine) CodeAt(pa uint32) *isa.Instr { return m.code[pa] }
 
 // RegisterService installs a trusted endpoint at a linear address.
 func (m *Machine) RegisterService(linear uint32, s *Service) {
+	if len(m.services) == 0 {
+		m.svcLo, m.svcHi = linear, linear
+	} else {
+		m.svcLo = min(m.svcLo, linear)
+		m.svcHi = max(m.svcHi, linear)
+	}
 	m.services[linear] = s
 	m.invalidateBlocksAt(linear)
 }
@@ -280,6 +302,12 @@ func (m *Machine) UnregisterService(linear uint32) {
 
 // SetBreak arms a breakpoint at a linear address.
 func (m *Machine) SetBreak(linear uint32) {
+	if len(m.breaks) == 0 {
+		m.brkLo, m.brkHi = linear, linear
+	} else {
+		m.brkLo = min(m.brkLo, linear)
+		m.brkHi = max(m.brkHi, linear)
+	}
 	m.breaks[linear] = true
 	m.invalidateBlocksAt(linear)
 }
@@ -288,6 +316,31 @@ func (m *Machine) SetBreak(linear uint32) {
 func (m *Machine) ClearBreak(linear uint32) {
 	delete(m.breaks, linear)
 	m.invalidateBlocksAt(linear)
+}
+
+// recomputeDispatchHints rebuilds the break/service envelopes from the
+// live maps; snapshot restore and clone install maps wholesale.
+func (m *Machine) recomputeDispatchHints() {
+	first := true
+	for lin := range m.breaks {
+		if first {
+			m.brkLo, m.brkHi = lin, lin
+			first = false
+		} else {
+			m.brkLo = min(m.brkLo, lin)
+			m.brkHi = max(m.brkHi, lin)
+		}
+	}
+	first = true
+	for lin := range m.services {
+		if first {
+			m.svcLo, m.svcHi = lin, lin
+			first = false
+		} else {
+			m.svcLo = min(m.svcLo, lin)
+			m.svcHi = max(m.svcHi, lin)
+		}
+	}
 }
 
 // Instructions returns the lifetime retired-instruction count.
@@ -383,7 +436,7 @@ func (m *Machine) writeMem(op *isa.Operand, size uint8, v uint32) *mmu.Fault {
 // Push pushes a 32-bit value on the current stack.
 func (m *Machine) Push(v uint32) *mmu.Fault {
 	esp := m.Regs[isa.ESP] - 4
-	pa, f := m.MMU.Translate(m.SS, esp, 4, mmu.Write, m.CPL())
+	pa, f := m.MMU.TranslateProbed(&m.pushProbe, m.SS, esp, 4, mmu.Write, m.CPL())
 	if f != nil {
 		f.Kind = mmu.SS
 		return f
@@ -396,7 +449,7 @@ func (m *Machine) Push(v uint32) *mmu.Fault {
 // Pop pops a 32-bit value off the current stack.
 func (m *Machine) Pop() (uint32, *mmu.Fault) {
 	esp := m.Regs[isa.ESP]
-	pa, f := m.MMU.Translate(m.SS, esp, 4, mmu.Read, m.CPL())
+	pa, f := m.MMU.TranslateProbed(&m.popProbe, m.SS, esp, 4, mmu.Read, m.CPL())
 	if f != nil {
 		f.Kind = mmu.SS
 		return 0, f
@@ -407,7 +460,7 @@ func (m *Machine) Pop() (uint32, *mmu.Fault) {
 
 // Peek reads the stack word at ESP+off without popping.
 func (m *Machine) Peek(off uint32) (uint32, *mmu.Fault) {
-	pa, f := m.MMU.Translate(m.SS, m.Regs[isa.ESP]+off, 4, mmu.Read, m.CPL())
+	pa, f := m.MMU.TranslateProbed(&m.popProbe, m.SS, m.Regs[isa.ESP]+off, 4, mmu.Read, m.CPL())
 	if f != nil {
 		return 0, f
 	}

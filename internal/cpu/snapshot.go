@@ -102,6 +102,7 @@ func (m *Machine) Restore(s *MachineSnapshot) {
 	m.TickCycles = s.tickCycles
 	m.nextTick = s.nextTick
 
+	m.recomputeDispatchHints()
 	m.clearBlockCache()
 }
 
@@ -125,7 +126,7 @@ func (m *Machine) Clone(phys *mem.Physical, mu *mmu.MMU, clock *cycles.Clock) *M
 	// flag is per-machine, so each owner goroutine touches only its
 	// own).
 	m.codeShared = true
-	return &Machine{
+	c := &Machine{
 		Phys:  phys,
 		MMU:   mu,
 		Clock: clock,
@@ -146,4 +147,6 @@ func (m *Machine) Clone(phys *mem.Physical, mu *mmu.MMU, clock *cycles.Clock) *M
 		TickCycles: m.TickCycles,
 		nextTick:   m.nextTick,
 	}
+	c.recomputeDispatchHints()
+	return c
 }

@@ -21,9 +21,16 @@ type InterpStats struct {
 	BlockHits     uint64
 	BlockBuilds   uint64
 	BlockInvalids uint64
-	TLBHits       uint64
-	TLBMisses     uint64
-	TLBFlushes    uint64
+	// ChainHits counts chained block dispatches: the specialized tier
+	// followed a block's cached successor pointer directly, touching
+	// neither the breaks/services maps nor the block map.
+	ChainHits uint64
+	// FastFetches counts page-level fetch checks satisfied by the
+	// same-page fast path (each still counted as a TLB hit).
+	FastFetches uint64
+	TLBHits     uint64
+	TLBMisses   uint64
+	TLBFlushes  uint64
 }
 
 // MeasureInterp runs the Table 2 string-reverse extension `calls`
@@ -63,6 +70,7 @@ func MeasureInterp(calls int) (InterpStats, error) {
 	st.Instructions = m.Instructions()
 	st.SimCycles = s.Clock().Cycles()
 	st.BlockHits, st.BlockBuilds, st.BlockInvalids = m.BlockCacheStats()
+	st.ChainHits, st.FastFetches = m.ChainStats()
 	st.TLBHits, st.TLBMisses, st.TLBFlushes = s.K.MMU.TLB().Stats()
 	return st, nil
 }
@@ -75,6 +83,8 @@ func RenderInterp(w io.Writer, st InterpStats, calls int) {
 	fmt.Fprintf(w, "  block-cache hits       %12d\n", st.BlockHits)
 	fmt.Fprintf(w, "  block-cache builds     %12d\n", st.BlockBuilds)
 	fmt.Fprintf(w, "  block-cache invalids   %12d\n", st.BlockInvalids)
+	fmt.Fprintf(w, "  chained dispatches     %12d\n", st.ChainHits)
+	fmt.Fprintf(w, "  fast-path fetches      %12d\n", st.FastFetches)
 	fmt.Fprintf(w, "  TLB hits               %12d\n", st.TLBHits)
 	fmt.Fprintf(w, "  TLB misses             %12d\n", st.TLBMisses)
 	fmt.Fprintf(w, "  TLB flushes            %12d\n", st.TLBFlushes)

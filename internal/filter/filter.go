@@ -147,18 +147,25 @@ var compiledSeq atomic.Int64
 // CompileObject compiles the conjunction for the given terms to a
 // native extension object whose entry reads staged packet bytes from
 // the `shared_area` module symbol — loadable under any native
-// backend. It returns the object and its entry symbol.
+// backend. It returns the object and its entry symbol. Compilation
+// and assembly are memoized per program shape (the source embeds a
+// fixed entry name); only the post-clone symbol rename is per call,
+// so the per-load entry symbols stay unique across a system's
+// Extension Function Table.
 func CompileObject(terms []bpf.Term) (*isa.Object, string, error) {
 	prog := bpf.Conjunction(terms)
-	entry := fmt.Sprintf("pfilter_%d", compiledSeq.Add(1))
-	text, err := bpf.Compile(prog, entry, "shared_area")
+	text, err := bpf.Compile(prog, "pfilter", "shared_area")
 	if err != nil {
 		return nil, "", err
 	}
 	src := text + "\n.data\n.global shared_area\nshared_area: .space 2048\n"
-	obj, err := isa.Assemble(entry, src)
+	obj, err := isa.AssembleCached("pfilter", src)
 	if err != nil {
 		return nil, "", fmt.Errorf("filter: assembling compiled filter: %w", err)
+	}
+	entry := fmt.Sprintf("pfilter_%d", compiledSeq.Add(1))
+	if !obj.RenameSymbol("pfilter", entry) {
+		return nil, "", fmt.Errorf("filter: compiled filter lacks its entry symbol")
 	}
 	return obj, entry, nil
 }

@@ -107,6 +107,62 @@ type item[M Machine] struct {
 	pinned bool
 }
 
+// ring is a growable circular queue of items. The buffer is allocated
+// once (pre-sized to the submission bound) and reused, so steady-state
+// Submit/take cycles allocate nothing — the slice-append queues this
+// replaces reallocated continuously because popping from the front
+// discards capacity.
+type ring[M Machine] struct {
+	buf  []item[M]
+	head int
+	n    int
+}
+
+func (r *ring[M]) len() int { return r.n }
+
+func (r *ring[M]) at(i int) *item[M] { return &r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *ring[M]) push(it item[M]) {
+	if r.n == len(r.buf) {
+		nb := make([]item[M], max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			nb[i] = *r.at(i)
+		}
+		r.buf, r.head = nb, 0
+	}
+	*r.at(r.n) = it
+	r.n++
+}
+
+func (r *ring[M]) popFront() item[M] {
+	it := r.buf[r.head]
+	r.buf[r.head] = item[M]{} // release the closure reference
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return it
+}
+
+// removeAt deletes logical index i in place, shifting the shorter
+// side (the dispatcher steals the newest stealable item, so this is
+// normally a shift of zero or one element).
+func (r *ring[M]) removeAt(i int) item[M] {
+	it := *r.at(i)
+	if i <= r.n-1-i {
+		for j := i; j > 0; j-- {
+			*r.at(j) = *r.at(j - 1)
+		}
+		r.buf[r.head] = item[M]{}
+		r.head = (r.head + 1) % len(r.buf)
+	} else {
+		for j := i; j < r.n-1; j++ {
+			*r.at(j) = *r.at(j + 1)
+		}
+		*r.at(r.n - 1) = item[M]{}
+	}
+	r.n--
+	return it
+}
+
 // Pool is a fleet of worker-owned machines behind a work-stealing
 // dispatcher.
 type Pool[M Machine] struct {
@@ -115,7 +171,7 @@ type Pool[M Machine] struct {
 	space *sync.Cond // the submission bound has room again
 	idle  *sync.Cond // all accepted requests finished
 
-	queues   [][]item[M]
+	queues   []ring[M]
 	inflight int // accepted (queued or running) requests
 	next     int // round-robin submission cursor
 	bound    int
@@ -138,10 +194,15 @@ func New[M Machine](cfg Config, boot func(worker int) (M, error)) (*Pool[M], err
 		cfg.Queue = 4 * cfg.Workers
 	}
 	p := &Pool[M]{
-		queues:   make([][]item[M], cfg.Workers),
+		queues:   make([]ring[M], cfg.Workers),
 		bound:    cfg.Queue,
 		machines: make([]M, cfg.Workers),
 		stats:    make([]WorkerStats, cfg.Workers),
+	}
+	for w := range p.queues {
+		// Pre-size to the submission bound: no queue can hold more
+		// than `bound` items, so steady-state submission never grows.
+		p.queues[w].buf = make([]item[M], cfg.Queue)
 	}
 	p.work = sync.NewCond(&p.mu)
 	p.space = sync.NewCond(&p.mu)
@@ -217,9 +278,9 @@ func (p *Pool[M]) submit(w int, it item[M]) error {
 	if p.closing {
 		return ErrClosed
 	}
-	p.queues[w] = append(p.queues[w], it)
+	p.queues[w].push(it)
 	p.inflight++
-	if n := len(p.queues[w]); n > p.stats[w].QueueHighWater {
+	if n := p.queues[w].len(); n > p.stats[w].QueueHighWater {
 		p.stats[w].QueueHighWater = n
 	}
 	// Broadcast, not Signal: a pinned item must wake its owner, and
@@ -237,27 +298,24 @@ func (p *Pool[M]) take(w int) (Request[M], bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
-		if q := p.queues[w]; len(q) > 0 {
-			it := q[0]
-			p.queues[w] = q[1:]
-			return it.req, true
+		if p.queues[w].len() > 0 {
+			return p.queues[w].popFront().req, true
 		}
 		victim, at, depth := -1, -1, 0
 		for v := range p.queues {
-			if v == w || len(p.queues[v]) <= depth {
+			q := &p.queues[v]
+			if v == w || q.len() <= depth {
 				continue
 			}
-			for i := len(p.queues[v]) - 1; i >= 0; i-- {
-				if !p.queues[v][i].pinned {
-					victim, at, depth = v, i, len(p.queues[v])
+			for i := q.len() - 1; i >= 0; i-- {
+				if !q.at(i).pinned {
+					victim, at, depth = v, i, q.len()
 					break
 				}
 			}
 		}
 		if victim >= 0 {
-			q := p.queues[victim]
-			req := q[at].req
-			p.queues[victim] = append(append([]item[M]{}, q[:at]...), q[at+1:]...)
+			req := p.queues[victim].removeAt(at).req
 			p.stats[w].Steals++
 			return req, true
 		}

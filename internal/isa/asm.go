@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Assemble translates assembly source into a relocatable Object.
@@ -43,10 +44,51 @@ func Assemble(name, src string) (*Object, error) {
 	return a.obj, nil
 }
 
-// MustAssemble is Assemble for known-good built-in sources; it panics
-// on error.
+// asmCache memoizes MustAssemble: the built-in sources (stubs, libc,
+// the benchmark extensions) are re-assembled on every machine boot,
+// which boot-heavy drivers (Table 3 cells, fleets) repeat hundreds of
+// times. Entries are immutable templates; MustAssemble returns a deep
+// Clone so callers may relocate freely. Concurrent boots (fleet
+// workers) share the cache, hence the RWMutex. The cache is bounded:
+// a long-lived process feeding it unbounded distinct sources (e.g.
+// per-client compiled filters) wholesale-resets it at the cap rather
+// than growing without limit — recurring sources simply re-memoize.
+const asmCacheMax = 512
+
+var asmCache = struct {
+	sync.RWMutex
+	m map[string]*Object
+}{m: make(map[string]*Object)}
+
+// AssembleCached is Assemble memoized by (name, source); the returned
+// object is a fresh deep copy each call, so callers may relocate it
+// freely. Use it for sources that recur across boots (built-ins,
+// generated stubs); one-off sources should use Assemble.
+func AssembleCached(name, src string) (*Object, error) {
+	key := name + "\x00" + src
+	asmCache.RLock()
+	tmpl := asmCache.m[key]
+	asmCache.RUnlock()
+	if tmpl == nil {
+		o, err := Assemble(name, src)
+		if err != nil {
+			return nil, err
+		}
+		asmCache.Lock()
+		if len(asmCache.m) >= asmCacheMax {
+			clear(asmCache.m)
+		}
+		asmCache.m[key] = o
+		asmCache.Unlock()
+		tmpl = o
+	}
+	return tmpl.Clone(), nil
+}
+
+// MustAssemble is AssembleCached for known-good built-in sources; it
+// panics on error.
 func MustAssemble(name, src string) *Object {
-	o, err := Assemble(name, src)
+	o, err := AssembleCached(name, src)
 	if err != nil {
 		panic(fmt.Sprintf("isa: assembling %s: %v", name, err))
 	}

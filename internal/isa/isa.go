@@ -138,6 +138,24 @@ func (o Op) TransfersControl() bool {
 	return o.IsBranch()
 }
 
+// IsFarTransfer reports whether the opcode can change the code segment
+// (and therefore the privilege level and the segment base used to form
+// linear fetch addresses). Far transfers are never block-chained: the
+// successor's linear address cannot be derived from the predecessor's
+// cached segment base.
+func (o Op) IsFarTransfer() bool {
+	switch o {
+	case LCALL, LRET, INT, IRET:
+		return true
+	}
+	return false
+}
+
+// HasMemOperand reports whether either operand is a memory reference.
+func (i *Instr) HasMemOperand() bool {
+	return i.Dst.Kind == KindMem || i.Src.Kind == KindMem
+}
+
 // OperandKind distinguishes operand classes.
 type OperandKind uint8
 
@@ -339,6 +357,27 @@ func (o *Object) Clone() *Object {
 		c.Symbols[n] = &cp
 	}
 	return c
+}
+
+// RenameSymbol renames a symbol and every relocation referencing it,
+// reporting whether the symbol existed. Consumers that load many
+// instances of one cached template object but need unique global
+// names per load (the compiled packet filters' entry points) rename
+// after cloning instead of re-assembling.
+func (o *Object) RenameSymbol(old, new string) bool {
+	s, ok := o.Symbols[old]
+	if !ok {
+		return false
+	}
+	s.Name = new
+	delete(o.Symbols, old)
+	o.Symbols[new] = s
+	for i := range o.Relocs {
+		if o.Relocs[i].Sym == old {
+			o.Relocs[i].Sym = new
+		}
+	}
+	return true
 }
 
 // Externs lists the undefined symbols the object references.

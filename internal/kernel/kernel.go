@@ -12,6 +12,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cpu"
@@ -19,6 +20,11 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 )
+
+// ErrExtTimeBudget is returned out of the timer tick when the armed
+// per-invocation extension deadline (ArmExtLimit) has passed. The core
+// layer translates it into its public ErrTimeLimit.
+var ErrExtTimeBudget = errors.New("kernel: extension time budget exceeded")
 
 // Virtual address space layout (paper Figures 2 and 3).
 const (
@@ -126,6 +132,13 @@ type Kernel struct {
 	// tickFns receive timer ticks (extension budget policing).
 	tickFns []func() error
 
+	// extDeadline is the armed per-invocation extension CPU deadline in
+	// absolute cycles (0 = disarmed). It replaces the per-call
+	// OnTimerTick closure the invocation paths used to register, so the
+	// steady-state serving path allocates nothing; nesting is handled
+	// by saving the previous deadline across Arm/Disarm.
+	extDeadline float64
+
 	// ConsoleOut collects bytes written via SysWrite to fd 1/2.
 	ConsoleOut []byte
 }
@@ -169,12 +182,11 @@ func New(model *cycles.Model) (*Kernel, error) {
 		return nil, fmt.Errorf("kernel: boot address space: %w", err)
 	}
 	k.kernelTemplate = tmpl
-	// Pre-create every kernel-range page table so its frames can be
-	// shared into all process address spaces, making post-boot kernel
-	// mappings (module loads) globally visible.
-	if err := tmpl.PreallocateTables(KernelBase, 0xFFFF_F000); err != nil {
-		return nil, err
-	}
+	// Kernel-range page tables are created lazily by mapKernelShared,
+	// which shares each newly born table's directory entry into every
+	// live process address space — the same global-visibility property
+	// eager preallocation provided, without allocating 256 page-table
+	// frames (1 MB of zeroed memory) on every boot.
 	// Until the first process is scheduled, the CPU runs on the
 	// kernel's own address space (the boot CR3).
 	mu.LoadCR3(tmpl)
@@ -253,11 +265,29 @@ func (k *Kernel) KernelAlloc(n, align uint32) (uint32, error) {
 		if err != nil {
 			return 0, err
 		}
-		if err := k.kernelTemplate.Map(lin, frame, true, false); err != nil {
+		if err := k.mapKernelShared(lin, frame, true); err != nil {
 			return 0, err
 		}
 	}
 	return addr, nil
+}
+
+// mapKernelShared installs a kernel mapping in the shared template.
+// When the mapping creates a new kernel page table, that table's
+// directory entry is shared into every live process address space, so
+// post-boot kernel mappings stay globally visible exactly as they were
+// under eager page-table preallocation.
+func (k *Kernel) mapKernelShared(linear, frame uint32, writable bool) error {
+	fresh := !k.kernelTemplate.HasTable(linear)
+	if err := k.kernelTemplate.Map(linear, frame, writable, false); err != nil {
+		return err
+	}
+	if fresh {
+		for _, p := range k.procs {
+			p.AS.ShareRangeFrom(k.kernelTemplate, linear, linear)
+		}
+	}
+	return nil
 }
 
 // MapKernelPage maps one kernel page with explicit permissions in the
@@ -267,7 +297,7 @@ func (k *Kernel) MapKernelPage(linear uint32, writable bool) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := k.kernelTemplate.Map(linear, frame, writable, false); err != nil {
+	if err := k.mapKernelShared(linear, frame, writable); err != nil {
 		return 0, err
 	}
 	k.MMU.InvalidatePage(linear)
@@ -320,8 +350,35 @@ func (k *Kernel) timerTick() error {
 			return err
 		}
 	}
+	// The armed invocation deadline runs after the subscribed fns,
+	// matching the order of the per-call registration it replaced
+	// (invocation limiters were appended last).
+	if k.extDeadline > 0 && k.Clock.Cycles() > k.extDeadline {
+		return ErrExtTimeBudget
+	}
 	return nil
 }
+
+// ArmExtLimit arms the built-in per-invocation extension CPU limiter:
+// once the simulated clock passes deadline, the next timer tick stops
+// the run with ErrExtTimeBudget. It returns the previously armed
+// deadline, which the caller must hand back to DisarmExtLimit so
+// nested invocations restore the outer limit. A nested invocation may
+// not outlive the outer limit: the effective deadline is the earlier
+// of the two, matching the stacked per-call tick subscribers this
+// mechanism replaced (every registered subscriber kept checking its
+// own deadline).
+func (k *Kernel) ArmExtLimit(deadline float64) (prev float64) {
+	prev = k.extDeadline
+	if prev > 0 && prev < deadline {
+		deadline = prev
+	}
+	k.extDeadline = deadline
+	return prev
+}
+
+// DisarmExtLimit restores the deadline ArmExtLimit replaced.
+func (k *Kernel) DisarmExtLimit(prev float64) { k.extDeadline = prev }
 
 // OnTimerTick registers a tick subscriber and returns a removal func.
 // Removal is bounds-checked: a snapshot rollback may truncate the

@@ -38,6 +38,7 @@ type Snapshot struct {
 
 	costs        CostSheet
 	extTimeLimit float64
+	extDeadline  float64
 	tickLen      int
 	console      []byte
 
@@ -61,6 +62,7 @@ func (k *Kernel) Snapshot() *Snapshot {
 
 		costs:        *k.Costs,
 		extTimeLimit: k.ExtTimeLimit,
+		extDeadline:  k.extDeadline,
 		tickLen:      len(k.tickFns),
 		console:      slices.Clone(k.ConsoleOut),
 
@@ -114,6 +116,7 @@ func (k *Kernel) Restore(s *Snapshot) {
 
 	*k.Costs = s.costs
 	k.ExtTimeLimit = s.extTimeLimit
+	k.extDeadline = s.extDeadline
 	if len(k.tickFns) > s.tickLen {
 		k.tickFns = k.tickFns[:s.tickLen]
 	}
@@ -177,6 +180,7 @@ func (k *Kernel) Clone() (*Kernel, error) {
 		svcSyscallAddr: k.svcSyscallAddr,
 		svcKSvcAddr:    k.svcKSvcAddr,
 		ExtTimeLimit:   k.ExtTimeLimit,
+		extDeadline:    k.extDeadline,
 		ConsoleOut:     slices.Clone(k.ConsoleOut),
 	}
 

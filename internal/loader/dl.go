@@ -53,41 +53,59 @@ func (u *UserSpace) FreeRange(addr uint32) error { return u.P.Munmap(u.K, addr) 
 func (u *UserSpace) Write(addr uint32, b []byte) error {
 	// Bypass page write protection: the loader writes via physical
 	// frames exactly like the kernel's copy path, but must tolerate
-	// read-only targets (text pages during install).
-	for i, v := range b {
-		lin := addr + uint32(i)
+	// read-only targets (text pages during install). Page-wise: one
+	// translation per page, not one per byte.
+	total := len(b)
+	err := mem.ForEachPageRun(addr, total, func(lin uint32, n int) error {
 		e := u.P.AS.Lookup(lin)
 		if !e.Present() {
 			return fmt.Errorf("loader: page not present at %#x", lin)
 		}
-		u.K.Phys.Write8(e.Frame()|lin&mem.PageMask, v)
+		u.K.Phys.WriteBytes(e.Frame()|lin&mem.PageMask, b[:n])
+		b = b[n:]
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	u.K.Clock.Add(u.K.Costs.CopyPerByte * float64(len(b)))
+	u.K.Clock.Add(u.K.Costs.CopyPerByte * float64(total))
 	return nil
 }
 
-// InstallText implements Space, resolving each instruction slot's
-// physical address through the process page tables.
+// InstallText implements Space, resolving instruction slots' physical
+// addresses through the process page tables one page-contiguous run at
+// a time (one lookup and one block-cache invalidation per page, not
+// per instruction).
 func (u *UserSpace) InstallText(addr uint32, text []isa.Instr) error {
-	for i := range text {
+	for i := 0; i < len(text); {
 		lin := addr + uint32(i)*isa.InstrSlot
 		e := u.P.AS.Lookup(lin)
 		if !e.Present() {
 			return fmt.Errorf("loader: text page not present at %#x", lin)
 		}
-		u.K.Machine.InstallCode(e.Frame()|lin&mem.PageMask, text[i:i+1])
+		n := int((mem.PageSize - lin&mem.PageMask) / isa.InstrSlot)
+		if n > len(text)-i {
+			n = len(text) - i
+		}
+		u.K.Machine.InstallCode(e.Frame()|lin&mem.PageMask, text[i:i+n])
+		i += n
 	}
 	return nil
 }
 
 // RemoveText implements Space.
 func (u *UserSpace) RemoveText(addr uint32, n int) error {
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; {
 		lin := addr + uint32(i)*isa.InstrSlot
 		e := u.P.AS.Lookup(lin)
-		if e.Present() {
-			u.K.Machine.RemoveCode(e.Frame()|lin&mem.PageMask, 1)
+		c := int((mem.PageSize - lin&mem.PageMask) / isa.InstrSlot)
+		if c > n-i {
+			c = n - i
 		}
+		if e.Present() {
+			u.K.Machine.RemoveCode(e.Frame()|lin&mem.PageMask, c)
+		}
+		i += c
 	}
 	return nil
 }

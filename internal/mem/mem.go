@@ -50,8 +50,29 @@ type frame struct {
 	data [PageSize]byte
 }
 
-func newFrame() *frame {
-	f := &frame{}
+// frameSlabSize is how many frames one slab allocation holds. Frames
+// carry no pointers, so a slab is a single no-scan allocation: booting
+// a machine costs a handful of slab allocations instead of hundreds of
+// individual 4 KB ones, which is what used to drive GC frequency in
+// boot-heavy drivers (Table 3 cells, fleets). The tradeoff: a slab is
+// retained while ANY of its frames is referenced, so a workload that
+// releases almost all of a machine's memory but pins a few scattered
+// frames (a sparse long-lived snapshot) can retain up to
+// frameSlabSize× the frame bytes the refcounts say are live. Machines
+// are normally retained or released wholesale, where the slab granule
+// costs nothing.
+const frameSlabSize = 64
+
+// newFrame hands out the next frame from this Physical's slab. Slabs
+// are per-Physical (each simulated machine is goroutine-owned), so no
+// locking is needed; the frames themselves may still be shared
+// copy-on-write across Physicals afterwards.
+func (p *Physical) newFrame() *frame {
+	if len(p.slab) == 0 {
+		p.slab = make([]frame, frameSlabSize)
+	}
+	f := &p.slab[0]
+	p.slab = p.slab[1:]
 	f.refs.Store(1)
 	return f
 }
@@ -101,6 +122,9 @@ type Physical struct {
 	// frame table may back the same physical addresses with different
 	// bytes and different installed code.
 	onRestore func()
+
+	// slab batches frame allocation (see newFrame).
+	slab []frame
 }
 
 // NewPhysical returns an empty physical memory.
@@ -152,7 +176,7 @@ func (p *Physical) readFrame(pa uint32) *[PageSize]byte {
 		}
 	}
 	c := p.exclusiveChunk(fn)
-	f := newFrame()
+	f := p.newFrame()
 	c.frames[fn&(physChunkSize-1)] = f
 	p.touched++
 	return &f.data
@@ -166,13 +190,13 @@ func (p *Physical) writeFrame(pa uint32) *[PageSize]byte {
 	i := fn & (physChunkSize - 1)
 	f := c.frames[i]
 	if f == nil {
-		f = newFrame()
+		f = p.newFrame()
 		c.frames[i] = f
 		p.touched++
 		return &f.data
 	}
 	if f.refs.Load() > 1 {
-		nf := newFrame()
+		nf := p.newFrame()
 		nf.data = f.data
 		c.frames[i] = nf
 		f.refs.Add(-1)
@@ -264,6 +288,45 @@ func (s *Snapshot) Release() {
 	}
 }
 
+// ForEachPageRun invokes fn once per maximal page-contained run of
+// [addr, addr+n): fn(runAddr, runLen) with runLen clamped so a run
+// never crosses a page boundary. It is the single implementation of
+// the page-chunking loop used by every page-wise copy path (kernel
+// user copies, loader writes, extension-segment staging), so boundary
+// arithmetic lives in exactly one place.
+func ForEachPageRun(addr uint32, n int, fn func(addr uint32, n int) error) error {
+	for n > 0 {
+		c := PageSize - int(addr&PageMask)
+		if c > n {
+			c = n
+		}
+		if err := fn(addr, c); err != nil {
+			return err
+		}
+		addr += uint32(c)
+		n -= c
+	}
+	return nil
+}
+
+// FrameView returns the whole 4 KB frame containing pa for READING.
+// The caller must not write through it: a viewed frame may be shared
+// copy-on-write with snapshots or clones (use FrameMut for writing).
+// Like every read, an absent frame is allocated zeroed. Bulk scanners
+// (page-table walks, fingerprinting, copies) use this to replace
+// word-at-a-time Read32 loops with direct frame access.
+func (p *Physical) FrameView(pa uint32) *[PageSize]byte {
+	return p.readFrame(pa)
+}
+
+// FrameMut returns the whole 4 KB frame containing pa for WRITING,
+// performing the same copy-on-write fault a Write32 would (shared
+// chunks and frames are split off first). Bulk writers use it to
+// replace word-at-a-time Write32 loops.
+func (p *Physical) FrameMut(pa uint32) *[PageSize]byte {
+	return p.writeFrame(pa)
+}
+
 // Read8 reads one byte at physical address pa.
 func (p *Physical) Read8(pa uint32) byte {
 	return p.readFrame(pa)[pa&PageMask]
@@ -339,13 +402,26 @@ func (p *Physical) WriteBytes(pa uint32, b []byte) {
 	}
 }
 
-// Zero clears n bytes starting at pa.
+// Zero clears n bytes starting at pa. A frame that has never been
+// touched is born zeroed, so zeroing it only materializes it — this is
+// the page-table/stack-page boot path, which used to allocate a zeroed
+// frame and then clear it again.
 func (p *Physical) Zero(pa uint32, n int) {
 	for n > 0 {
-		f := p.writeFrame(pa)
 		off := int(pa & PageMask)
 		c := min(n, PageSize-off)
-		clear(f[off : off+c])
+		fn := pa >> PageShift
+		ch := p.root[fn>>physChunkBits]
+		if ch == nil || ch.frames[fn&(physChunkSize-1)] == nil {
+			// Absent frame: materialize it (already all zero), with
+			// the same touch accounting a write would perform.
+			ch = p.exclusiveChunk(fn)
+			ch.frames[fn&(physChunkSize-1)] = p.newFrame()
+			p.touched++
+		} else {
+			f := p.writeFrame(pa)
+			clear(f[off : off+c])
+		}
 		n -= c
 		pa += uint32(c)
 	}

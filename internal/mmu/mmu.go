@@ -22,9 +22,23 @@ type MMU struct {
 	// gen counts every event that can change the outcome of a
 	// translation performed through this MMU: CR3 loads, single-page
 	// invalidations, LDT switches and GDT/LDT descriptor mutations.
-	// The CPU's decoded-block cache folds it into its block tags, so
-	// any such event invalidates every cached block.
+	// The CPU's chained execution tier checks it after every timer-
+	// hook firing: a changed generation means cached per-run
+	// translation state (the same-page fetch fast path, chain hints)
+	// must be revalidated from scratch.
 	gen uint64
+
+	// segGen counts only the events that can change the outcome of a
+	// SEGMENT-level check: GDT/LDT descriptor mutations, LDT switches,
+	// and whole-image restores. The decoded-block cache tags blocks
+	// with it (a block's build-time segment checks stay valid while it
+	// is unchanged), and SegProbes validate against it. Page-level
+	// events (CR3 loads, invlpg) deliberately do NOT advance it: the
+	// page-level check runs live on every executed instruction, so
+	// cached blocks follow remaps lazily and correctly without being
+	// rebuilt — which keeps the per-request PPL flipping of the
+	// protected serving path from flushing the block cache.
+	segGen uint64
 
 	// WriteProtect mirrors CR0.WP: when true, supervisor-level code
 	// (CPL 0-2) also honours page write protection. Palladium's
@@ -45,15 +59,15 @@ func New(phys *mem.Physical, gdtSize int, clock *cycles.Clock, model *cycles.Mod
 		tlb:          NewTLB(),
 		WriteProtect: true,
 	}
-	m.GDT.onMutate = m.bumpGen
+	m.GDT.onMutate = m.bumpSegGen
 	// COW plumbing: restoring the frame store can put different bytes
 	// (and different installed code) behind live physical addresses, so
-	// a restore must advance the translation generation — every decoded
-	// block tagged with an older generation then misses and rebuilds
+	// a restore must advance both generations — every decoded block
+	// tagged with an older segment generation then misses and rebuilds
 	// from the restored image. TLB entries key physical *addresses*,
 	// which COW never changes, so the TLB needs no flush here; its
 	// contents are restored wholesale by RestoreState.
-	phys.OnRestore(m.bumpGen)
+	phys.OnRestore(m.bumpSegGen)
 	return m
 }
 
@@ -84,12 +98,12 @@ func (m *MMU) SaveState() *MMUState {
 // statistics move: restore is a simulator-level operation, invisible
 // to the simulated timeline.
 func (m *MMU) RestoreState(s *MMUState) {
-	m.GDT.RestoreEntries(s.gdt) // fires bumpGen
+	m.GDT.RestoreEntries(s.gdt) // fires bumpSegGen
 	if s.ldt == nil {
 		m.LDT = nil
 	} else {
 		m.LDT = s.ldt.Clone()
-		m.LDT.onMutate = m.bumpGen
+		m.LDT.onMutate = m.bumpSegGen
 	}
 	m.tlb.restoreFrom(s.tlb)
 	m.space = s.space
@@ -107,14 +121,15 @@ func (m *MMU) Clone(phys *mem.Physical, clock *cycles.Clock) *MMU {
 		model:        m.model,
 		tlb:          m.tlb.Clone(),
 		gen:          m.gen,
+		segGen:       m.segGen,
 		WriteProtect: m.WriteProtect,
 	}
-	c.GDT.onMutate = c.bumpGen
+	c.GDT.onMutate = c.bumpSegGen
 	if m.LDT != nil {
 		c.LDT = m.LDT.Clone()
-		c.LDT.onMutate = c.bumpGen
+		c.LDT.onMutate = c.bumpSegGen
 	}
-	phys.OnRestore(c.bumpGen)
+	phys.OnRestore(c.bumpSegGen)
 	return c
 }
 
@@ -127,10 +142,17 @@ func (m *MMU) AdoptSpace(space *AddressSpace) { m.space = space }
 // bumpGen advances the translation generation (see the gen field).
 func (m *MMU) bumpGen() { m.gen++ }
 
+// bumpSegGen advances both generations: a segment-level change is
+// also a translation-level change.
+func (m *MMU) bumpSegGen() { m.segGen++; m.gen++ }
+
 // TransGen returns the current translation generation. It changes
 // whenever CR3 is loaded, a page is invalidated, the LDT is switched,
 // or a GDT/LDT descriptor is installed or cleared.
 func (m *MMU) TransGen() uint64 { return m.gen }
+
+// SegGen returns the current segment-check generation (see segGen).
+func (m *MMU) SegGen() uint64 { return m.segGen }
 
 // Model returns the active cost model.
 func (m *MMU) Model() *cycles.Model { return m.model }
@@ -159,9 +181,9 @@ func (m *MMU) LoadCR3(space *AddressSpace) {
 func (m *MMU) SetLDT(ldt *Table) {
 	m.LDT = ldt
 	if ldt != nil {
-		ldt.onMutate = m.bumpGen
+		ldt.onMutate = m.bumpSegGen
 	}
-	m.bumpGen()
+	m.bumpSegGen()
 }
 
 // InvalidatePage drops one page translation (after a permission
@@ -273,6 +295,20 @@ func (m *MMU) CheckPage(linear uint32, acc Access, cpl int, sel Selector, off ui
 	return e.frame | (linear & mem.PageMask), nil
 }
 
+// FastFetchHit is the inlineable same-page fetch probe: the CPU calls
+// it instead of CheckPage when the fetch lands on the same linear page
+// as the immediately preceding fetch of a straight-line run and the
+// translation generation is unchanged. Under those conditions CheckPage
+// is guaranteed to take the TLB-hit path with the same entry (the
+// previous fetch inserted or verified it, hardware events that could
+// evict it all advance TransGen, and simulated code cannot touch the
+// TLB), its privilege checks are guaranteed to repeat the previous
+// outcome (same entry bits, same CPL — far transfers end blocks), and
+// no walk is charged. The observable effect is therefore exactly one
+// TLB hit, which this records; the caller reuses the frame base from
+// the full check. Pinned by TestFastFetchHitMatchesCheckPage.
+func (m *MMU) FastFetchHit() { m.tlb.CountHit() }
+
 // PeekPage resolves a linear address to a physical one without
 // charging cycles, counting TLB statistics, or filling the TLB: the
 // cached translation is used when present, otherwise the page tables
@@ -302,6 +338,54 @@ func (m *MMU) Translate(sel Selector, off, size uint32, acc Access, cpl int) (ui
 	if f != nil {
 		return 0, f
 	}
+	return m.CheckPage(linear, acc, cpl, sel, off)
+}
+
+// SegProbe caches the outcome of one passing segment-level check. The
+// segment checks that do not depend on the offset — descriptor
+// presence, type, readability/writability, privilege — are functions
+// of (selector, access kind, CPL, descriptor contents) only, and every
+// descriptor mutation advances the translation generation; so while
+// the generation, selector, access and CPL match, only the offset-
+// dependent limit check needs re-running, against the cached base and
+// limit. The CPU's threaded-code tier binds one probe to each compiled
+// memory operand (and the stack primitives), turning the common-case
+// data translation into two compares plus the page-level check.
+//
+// Segment checks charge no cycles and count no statistics, so a probe
+// hit is observationally identical to the full CheckSegment; pinned by
+// TestTranslateProbedMatchesTranslate.
+type SegProbe struct {
+	gen   uint64
+	sel   Selector
+	acc   Access
+	cpl   int8
+	valid bool
+	base  uint32
+	limit uint32
+}
+
+// TranslateProbed is Translate with the segment-level half served from
+// the probe when it still matches. The fault identities are exactly
+// Translate's: a probe hit can only fail the limit check, whose fault
+// CheckSegment would raise with identical fields (the offset-
+// independent checks all passed when the probe was filled and their
+// inputs are unchanged).
+func (m *MMU) TranslateProbed(p *SegProbe, sel Selector, off, size uint32, acc Access, cpl int) (uint32, *Fault) {
+	if p.valid && p.sel == sel && p.acc == acc && int(p.cpl) == cpl && p.gen == m.segGen {
+		end := off + size - 1
+		if end >= off && end <= p.limit {
+			return m.CheckPage(p.base+off, acc, cpl, sel, off)
+		}
+		return 0, fault(GP, sel, off, 0, acc, cpl, "segment limit violation")
+	}
+	linear, f := m.CheckSegment(sel, off, size, acc, cpl)
+	if f != nil {
+		p.valid = false
+		return 0, f
+	}
+	d := m.Descriptor(sel)
+	*p = SegProbe{gen: m.segGen, sel: sel, acc: acc, cpl: int8(cpl), valid: true, base: d.Base, limit: d.Limit}
 	return m.CheckPage(linear, acc, cpl, sel, off)
 }
 

@@ -1,6 +1,7 @@
 package mmu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/mem"
@@ -136,6 +137,12 @@ func (as *AddressSpace) Unmap(linear uint32) {
 	as.phys.Write32(e.Frame()+pti*4, 0)
 }
 
+// HasTable reports whether a page table is present for the 4 MB slice
+// containing linear.
+func (as *AddressSpace) HasTable(linear uint32) bool {
+	return as.pde(linear >> 22).Present()
+}
+
 // Lookup returns the leaf PTE for linear (zero if the page table is
 // absent).
 func (as *AddressSpace) Lookup(linear uint32) PTE {
@@ -206,10 +213,11 @@ func (as *AddressSpace) ClonePageDir() (*AddressSpace, error) {
 		if err != nil {
 			return nil, err
 		}
-		src := e.Frame()
-		for pti := uint32(0); pti < 1024; pti++ {
-			clone.phys.Write32(pt+pti*4, as.phys.Read32(src+pti*4))
-		}
+		// Page tables are frame-aligned: copy the whole table frame at
+		// once instead of 1024 word reads and writes.
+		src := as.phys.FrameView(e.Frame())
+		dst := clone.phys.FrameMut(pt)
+		copy(dst[:], src[:])
 	}
 	return clone, nil
 }
@@ -228,10 +236,9 @@ func (as *AddressSpace) CopyRangeFrom(src *AddressSpace, startLinear, endLinear 
 		if err != nil {
 			return err
 		}
-		from := e.Frame()
-		for pti := uint32(0); pti < 1024; pti++ {
-			as.phys.Write32(pt+pti*4, as.phys.Read32(from+pti*4))
-		}
+		from := src.phys.FrameView(e.Frame())
+		dst := as.phys.FrameMut(pt)
+		copy(dst[:], from[:])
 	}
 	return nil
 }
@@ -261,15 +268,21 @@ func (as *AddressSpace) ShareRangeFrom(src *AddressSpace, startLinear, endLinear
 	}
 }
 
-// VisitMapped calls fn for every present leaf mapping.
+// VisitMapped calls fn for every present leaf mapping. Each present
+// page table is captured through a direct frame view (one lookup per
+// 4 MB slice instead of 1024 word reads) before its callbacks run, so
+// a callback may mutate the visited entry (InitPL's PPL demotion does,
+// possibly COW-splitting the table frame) without perturbing the scan.
 func (as *AddressSpace) VisitMapped(fn func(linear uint32, e PTE)) {
+	var table [mem.PageSize]byte
 	for pdi := uint32(0); pdi < 1024; pdi++ {
 		pde := as.pde(pdi)
 		if !pde.Present() {
 			continue
 		}
+		table = *as.phys.FrameView(pde.Frame())
 		for pti := uint32(0); pti < 1024; pti++ {
-			leaf := PTE(as.phys.Read32(pde.Frame() + pti*4))
+			leaf := PTE(binary.LittleEndian.Uint32(table[pti*4 : pti*4+4]))
 			if leaf.Present() {
 				fn(pdi<<22|pti<<12, leaf)
 			}

@@ -139,6 +139,15 @@ func (t *TLB) Flush() {
 	t.flushes++
 }
 
+// CountHit records one TLB hit without re-probing the arrays. It is
+// the accounting half of the CPU's same-page fetch fast path: when a
+// block's next instruction fetch lands on the page the previous fetch
+// just translated (and nothing that could invalidate the entry has
+// happened — the translation generation is unchanged), the probe is
+// guaranteed to hit, so only the counter moves. The counter effect is
+// exactly that of a hitting lookup: hits+1, misses+0, no charge.
+func (t *TLB) CountHit() { t.hits++ }
+
 // Stats reports hit/miss/flush counters.
 func (t *TLB) Stats() (hits, misses, flushes uint64) {
 	return t.hits, t.misses, t.flushes

@@ -1,0 +1,59 @@
+package webserver
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestServeSteadyStateZeroAlloc pins the allocation audit of the
+// steady-state serving path: after warmup, a request under every
+// persistent execution model must allocate nothing — the per-request
+// staging buffers are per-server scratch, the kernel copy paths are
+// buffer-reusing, and the extension time limit is the kernel's armed
+// limiter rather than a per-call closure. The CGI model is exempt by
+// design: it forks a fresh process per request, and a process is an
+// allocation.
+func TestServeSteadyStateZeroAlloc(t *testing.T) {
+	srv := newServer(t, 28)
+	for _, m := range []Model{Static, FastCGI, LibCGI, LibCGIProtected} {
+		t.Run(fmt.Sprint(m), func(t *testing.T) {
+			// Warm: fault pages in, build decoded blocks, size buffers.
+			for i := 0; i < 5; i++ {
+				if _, err := srv.ServeRequest(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				if _, err := srv.ServeRequest(m); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%v: %.2f allocs per steady-state request, want 0", m, avg)
+			}
+		})
+	}
+}
+
+// BenchmarkServeRequest measures the wall-clock serving rate of the
+// steady-state path (one booted server, repeated requests); -benchmem
+// documents the zero-allocation property the test above asserts.
+func BenchmarkServeRequest(b *testing.B) {
+	for _, m := range []Model{Static, LibCGI, LibCGIProtected} {
+		b.Run(fmt.Sprint(m), func(b *testing.B) {
+			s := newBenchServer(b, 28)
+			for i := 0; i < 3; i++ {
+				if _, err := s.ServeRequest(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ServeRequest(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

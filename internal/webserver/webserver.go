@@ -135,6 +135,14 @@ type Server struct {
 	// adopting them adds no simulated work to the boot.
 	extDirect sandbox.Extension
 	extProt   sandbox.Extension
+
+	// Per-server request scratch, reused across requests so the
+	// steady-state serving path allocates nothing (asserted by
+	// TestServeSteadyStateZeroAlloc). Never shared: each Server is
+	// goroutine-owned, and Clone starts with fresh scratch.
+	envBuf  []byte  // staged CGI meta-variable block (protected model)
+	wordBuf [4]byte // little-endian request word
+	respBuf [8]byte // response meta readback
 }
 
 // New builds the server and loads the LibCGI script both as a
@@ -284,7 +292,8 @@ func (srv *Server) serveFastCGI() (int, error) {
 func (srv *Server) serveLibCGI() (int, error) {
 	srv.S.K.Clock.Add(srv.Costs.CGIEnv)
 	// Request passed by pointer: no staging copies needed.
-	if err := srv.app.WriteMem(srv.shared, leWord(srv.FileSize)); err != nil {
+	putLEWord(srv.wordBuf[:], srv.FileSize)
+	if err := srv.app.WriteMem(srv.shared, srv.wordBuf[:]); err != nil {
 		return 0, err
 	}
 	status, err := srv.extDirect.Invoke(srv.shared)
@@ -304,8 +313,12 @@ func (srv *Server) serveLibCGI() (int, error) {
 func (srv *Server) serveLibCGIProtected() (int, error) {
 	k, c := srv.S.K, srv.Costs
 	k.Clock.Add(c.CGIEnv)
-	env := make([]byte, c.EnvBytes)
-	copy(env, leWord(srv.FileSize))
+	if cap(srv.envBuf) < c.EnvBytes {
+		srv.envBuf = make([]byte, c.EnvBytes)
+	}
+	env := srv.envBuf[:c.EnvBytes]
+	clear(env)
+	putLEWord(env, srv.FileSize)
 	if err := srv.app.WriteMem(srv.shared, env); err != nil {
 		return 0, err
 	}
@@ -316,7 +329,7 @@ func (srv *Server) serveLibCGIProtected() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, err := srv.app.ReadMem(srv.shared+4, 8); err != nil { // response meta
+	if err := srv.app.ReadMemInto(srv.shared+4, srv.respBuf[:]); err != nil { // response meta
 		return 0, err
 	}
 	if err := k.SetRange(srv.app.P, srv.shared, 1, false); err != nil {
@@ -325,8 +338,17 @@ func (srv *Server) serveLibCGIProtected() (int, error) {
 	return int(status), nil
 }
 
+func putLEWord(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// leWord allocates a fresh little-endian word; the serving path uses
+// putLEWord into per-server scratch instead (kept for the pre-redesign
+// replication in the anchor tests).
 func leWord(v uint32) []byte {
-	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	b := make([]byte, 4)
+	putLEWord(b, v)
+	return b
 }
 
 // Throughput serves n requests under the model and returns the

@@ -20,6 +20,20 @@ func newServer(t *testing.T, fileSize uint32) *Server {
 	return srv
 }
 
+// newBenchServer is newServer for benchmarks.
+func newBenchServer(tb testing.TB, fileSize uint32) *Server {
+	tb.Helper()
+	s, err := core.NewSystem(cycles.Measured())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv, err := New(s, fileSize)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return srv
+}
+
 func TestAllModelsServe200(t *testing.T) {
 	srv := newServer(t, 28)
 	for _, m := range []Model{Static, CGI, FastCGI, LibCGI, LibCGIProtected} {

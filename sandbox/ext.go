@@ -34,6 +34,13 @@ type extBase struct {
 	bound    int
 	released bool
 	stats    Stats
+
+	// cfg is the per-invocation option scratch, reused across calls:
+	// it is handed to doInvoke by pointer (a dynamic call), which
+	// would force a fresh InvokeConfig to escape on every invocation —
+	// extensions are single-caller (machine-owned), so one scratch
+	// keeps the steady-state Invoke path allocation-free.
+	cfg InvokeConfig
 }
 
 // Backend implements Extension.
@@ -60,9 +67,10 @@ func (e *extBase) SharedArg() uint32 { return e.sharedArg }
 
 // Invoke implements Extension.
 func (e *extBase) Invoke(arg uint32, opts ...InvokeOption) (uint32, error) {
-	var cfg InvokeConfig
+	e.cfg = InvokeConfig{}
+	cfg := &e.cfg
 	for _, o := range opts {
-		o(&cfg)
+		o(cfg)
 	}
 	if e.released {
 		return 0, &Fault{Class: Revoked, Backend: e.backend, Op: "invoke", cause: errRevoked}
@@ -87,7 +95,7 @@ func (e *extBase) Invoke(arg uint32, opts ...InvokeOption) (uint32, error) {
 		e.queue = append(e.queue, arg)
 		return 0, nil
 	}
-	return e.call(arg, &cfg)
+	return e.call(arg, cfg)
 }
 
 func (e *extBase) call(arg uint32, cfg *InvokeConfig) (uint32, error) {
@@ -132,7 +140,8 @@ func (e *extBase) Drain() (int, error) {
 	for len(e.queue) > 0 {
 		arg := e.queue[0]
 		e.queue = e.queue[1:]
-		if _, err := e.call(arg, &InvokeConfig{}); err != nil {
+		e.cfg = InvokeConfig{}
+		if _, err := e.call(arg, &e.cfg); err != nil {
 			return done, err
 		}
 		done++
