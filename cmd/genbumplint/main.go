@@ -1,0 +1,41 @@
+// Command genbumplint runs the generation-bump lint (internal/lint)
+// over package directories and exits nonzero on violations:
+//
+//	go run ./cmd/genbumplint ./internal/mmu
+//
+// Exempted functions (//lint:genbump-exempt <reason>) are printed as
+// waivers but do not fail the run.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: genbumplint <package-dir> [...]")
+		os.Exit(2)
+	}
+	violations := 0
+	for _, dir := range dirs {
+		findings, err := lint.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genbumplint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			if !f.Exempt {
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "genbumplint: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,8 @@
 //	palladium-bench -snapshot      # template-boot+clone vs serial fleet boots
 //	palladium-bench -matrix        # workload x backend matrix (BENCH_matrix.json)
 //	palladium-bench -matrix -backend sfi,bpf   # restrict the matrix's backends
+//	palladium-bench -verify        # static verifier: escape rejects, workload
+//	                               # accepts, tier-2 check elision (BENCH_verify.json)
 //	palladium-bench -table 3 -cpuprofile cpu.prof -memprofile mem.prof
 //	                               # profile any run (std runtime/pprof files;
 //	                               # inspect with `go tool pprof`)
@@ -47,13 +49,16 @@ func main() {
 	matrixRun := flag.Bool("matrix", false, "run both workloads under every sandbox backend")
 	backend := flag.String("backend", "", "comma-separated sandbox backends for -matrix (default: all registered)")
 	matrixJSON := flag.String("matrix-json", "BENCH_matrix.json", "write the -matrix report to this JSON file")
+	verifyRun := flag.Bool("verify", false, "run the static verifier over escapes and workloads, then the elision benchmark")
+	verifyJSON := flag.String("verify-json", "BENCH_verify.json", "write the -verify report to this JSON file")
+	verifyRuns := flag.Int("verify-runs", 5, "host wall-clock median pool for -verify")
 	requests := flag.Int("requests", 100, "requests per Table 3 cell")
 	calls := flag.Int("calls", 1000, "protected calls for the -interp workload")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun && !*matrixRun
+	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun && !*matrixRun && !*verifyRun
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "palladium-bench:", err)
 		os.Exit(1)
@@ -200,6 +205,22 @@ func main() {
 				fail(err)
 			}
 			if err := os.WriteFile(*matrixJSON, append(b, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *verifyRun {
+		rep, err := experiments.MeasureVerify(*requests, *verifyRuns)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderVerify(os.Stdout, rep)
+		if *verifyJSON != "" {
+			b, err := json.MarshalIndent(rep, "", " ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*verifyJSON, append(b, '\n'), 0o644); err != nil {
 				fail(err)
 			}
 		}

@@ -86,36 +86,6 @@ type Instr struct {
 // Program is a BPF filter program.
 type Program []Instr
 
-// Validate performs the classic BPF safety check: all jumps are
-// forward and in bounds, every path ends in a return, and opcodes are
-// known. This is the entire protection story of the interpretation
-// approach — its strength is exactly the interpreter's correctness.
-func (p Program) Validate() error {
-	if len(p) == 0 {
-		return fmt.Errorf("bpf: empty program")
-	}
-	for i, ins := range p {
-		if ins.Op >= numOps {
-			return fmt.Errorf("bpf: instruction %d: unknown opcode %d", i, ins.Op)
-		}
-		switch ins.Op {
-		case JEq, JGt, JGe, JSet:
-			if i+1+int(ins.Jt) >= len(p) || i+1+int(ins.Jf) >= len(p) {
-				return fmt.Errorf("bpf: instruction %d: jump out of bounds", i)
-			}
-		case Ja:
-			if i+1+int(ins.K) >= len(p) {
-				return fmt.Errorf("bpf: instruction %d: jump out of bounds", i)
-			}
-		}
-	}
-	last := p[len(p)-1]
-	if last.Op != RetK && last.Op != RetA {
-		return fmt.Errorf("bpf: program does not end in a return")
-	}
-	return nil
-}
-
 // InterpCosts prices the interpreter's work, calibrated so that the
 // Figure-7 BPF curve starts near 200 cycles at zero terms and grows by
 // roughly 180 cycles per conjunction term on the measured model.
@@ -155,8 +125,7 @@ func NewInterp(clock *cycles.Clock) *Interp {
 // verdict (0 = reject). Programs must have been validated.
 func (in *Interp) Run(p Program, pkt []byte) (uint32, error) {
 	in.Clock.Add(in.Costs.Invoke)
-	var a, x uint32
-	_ = x
+	var a uint32
 	pc := 0
 	steps := 0
 	for {

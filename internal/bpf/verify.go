@@ -1,0 +1,85 @@
+package bpf
+
+import (
+	"fmt"
+
+	"repro/internal/verify"
+)
+
+// Verify runs the classic BPF safety check — known opcodes, forward
+// in-bounds jumps, every path ending in a return — and reports the
+// result through the same structured verify.Report the ISA verifier
+// produces, so every load-time gate in the sandbox layer speaks one
+// report type. Accepted programs are Clean: the virtual machine has no
+// addressable state beyond the bounds-checked packet, and forward-only
+// jumps bound execution by the program length.
+func (p Program) Verify() *verify.Report {
+	rep := &verify.Report{
+		Object:  "bpf-filter",
+		Backend: "bpf",
+		Status:  verify.Clean,
+		Entries: []string{"filter"},
+	}
+	reject := func(idx int, instr, format string, args ...any) {
+		rep.Status = verify.Rejected
+		rep.Violations = append(rep.Violations, verify.Finding{
+			Index: idx, Instr: instr, Reason: fmt.Sprintf(format, args...),
+		})
+	}
+	if len(p) == 0 {
+		reject(-1, "", "empty program")
+		return rep
+	}
+	for i, ins := range p {
+		if ins.Op >= numOps {
+			reject(i, fmt.Sprintf("op(%d)", uint8(ins.Op)), "unknown opcode %d", ins.Op)
+			continue
+		}
+		switch ins.Op {
+		case JEq, JGt, JGe, JSet:
+			if i+1+int(ins.Jt) >= len(p) || i+1+int(ins.Jf) >= len(p) {
+				reject(i, ins.Op.String(), "jump out of bounds")
+			} else {
+				rep.Proven++
+			}
+		case Ja:
+			if i+1+int(ins.K) >= len(p) {
+				reject(i, ins.Op.String(), "jump out of bounds")
+			} else {
+				rep.Proven++
+			}
+		case LdAbsB, LdAbsH, LdAbsW:
+			// Packet loads are bounds-checked by the interpreter (and
+			// the compiled filter's preamble) against the live packet
+			// length; nothing else is addressable.
+			rep.Proven++
+		}
+	}
+	// Program-level finding last, mirroring Validate's historical
+	// check order (instruction errors take precedence).
+	if last := p[len(p)-1]; last.Op != RetK && last.Op != RetA {
+		reject(-1, last.Op.String(), "program does not end in a return")
+	}
+	if rep.Status == verify.Clean {
+		rep.Bounded = true
+		rep.MaxSteps = uint64(len(p))
+	}
+	return rep
+}
+
+// Validate performs the classic BPF safety check: all jumps are
+// forward and in bounds, every path ends in a return, and opcodes are
+// known. This is the entire protection story of the interpretation
+// approach — its strength is exactly the interpreter's correctness.
+// It is Verify flattened to the historical error strings.
+func (p Program) Validate() error {
+	rep := p.Verify()
+	if rep.Accepted() {
+		return nil
+	}
+	f := rep.Violations[0]
+	if f.Index < 0 {
+		return fmt.Errorf("bpf: %s", f.Reason)
+	}
+	return fmt.Errorf("bpf: instruction %d: %s", f.Index, f.Reason)
+}

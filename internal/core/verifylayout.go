@@ -1,0 +1,25 @@
+package core
+
+import "repro/internal/mem"
+
+// Exported segment-layout facts consumed by the load-time static
+// verifier (package sandbox builds verify.Layouts from them). They
+// restate the unexported placement constants of kernelext.go and the
+// extension-stack sizing of app.go so the verifier's model of the
+// protection domain cannot drift from the mechanism that enforces it.
+const (
+	// KernelExtStackTop is the exclusive end of the per-segment
+	// extension stack: the argument slot sits at KernelExtStackTop-4
+	// and the extension enters with ESP = KernelExtStackTop-8 (the
+	// transfer stub's CALL has pushed the return address).
+	KernelExtStackTop = segStackTop
+	// KernelExtStackBottom is the inclusive start of the per-segment
+	// extension stack (below it lies only the Prepare stub's scratch
+	// save area).
+	KernelExtStackBottom = segStackOff
+	// UserExtStackBytes is the size of the PPL-1 extension stack a
+	// promoted application maps for its user-level extensions; the
+	// argument slot sits at the top word and extensions enter with
+	// ESP = top-8.
+	UserExtStackBytes = 16 * mem.PageSize
+)

@@ -59,6 +59,28 @@ func memSeg(op *isa.Operand) bool {
 	return op.Base == isa.EBP || op.Base == isa.ESP
 }
 
+// xlateFn is a memory operand's bound translation path.
+type xlateFn func(m *Machine, sel mmu.Selector, off, size uint32, acc mmu.Access) (uint32, *mmu.Fault)
+
+// memXlate binds the operand's SegProbe, selecting the verified
+// check-elision path when the load-time verifier proved a bound for
+// every runtime address of this operand (isa.Operand.Proved). Both
+// paths are observationally identical on the simulated machine —
+// segment checks charge no cycles — and the differential soundness
+// fuzz holds them to it.
+func memXlate(op *isa.Operand) xlateFn {
+	probe := new(mmu.SegProbe)
+	if op.Proved {
+		bound := op.ProvedEnd
+		return func(m *Machine, sel mmu.Selector, off, size uint32, acc mmu.Access) (uint32, *mmu.Fault) {
+			return m.MMU.TranslateVerified(probe, bound, sel, off, size, acc, m.CPL())
+		}
+	}
+	return func(m *Machine, sel mmu.Selector, off, size uint32, acc mmu.Access) (uint32, *mmu.Fault) {
+		return m.MMU.TranslateProbed(probe, sel, off, size, acc, m.CPL())
+	}
+}
+
 // compileRead specializes readOperand.
 func compileRead(op *isa.Operand, size uint8) readFn {
 	switch op.Kind {
@@ -71,14 +93,14 @@ func compileRead(op *isa.Operand, size uint8) readFn {
 	case isa.KindMem:
 		addr := compileAddr(op)
 		useSS := memSeg(op)
-		probe := new(mmu.SegProbe)
+		xl := memXlate(op)
 		if size == 1 {
 			return func(m *Machine) (uint32, *mmu.Fault) {
 				sel := m.DS
 				if useSS {
 					sel = m.SS
 				}
-				pa, f := m.MMU.TranslateProbed(probe, sel, addr(m), 1, mmu.Read, m.CPL())
+				pa, f := xl(m, sel, addr(m), 1, mmu.Read)
 				if f != nil {
 					return 0, f
 				}
@@ -90,7 +112,7 @@ func compileRead(op *isa.Operand, size uint8) readFn {
 			if useSS {
 				sel = m.SS
 			}
-			pa, f := m.MMU.TranslateProbed(probe, sel, addr(m), 4, mmu.Read, m.CPL())
+			pa, f := xl(m, sel, addr(m), 4, mmu.Read)
 			if f != nil {
 				return 0, f
 			}
@@ -114,14 +136,14 @@ func compileWrite(op *isa.Operand, size uint8) writeFn {
 	case isa.KindMem:
 		addr := compileAddr(op)
 		useSS := memSeg(op)
-		probe := new(mmu.SegProbe)
+		xl := memXlate(op)
 		if size == 1 {
 			return func(m *Machine, v uint32) *mmu.Fault {
 				sel := m.DS
 				if useSS {
 					sel = m.SS
 				}
-				pa, f := m.MMU.TranslateProbed(probe, sel, addr(m), 1, mmu.Write, m.CPL())
+				pa, f := xl(m, sel, addr(m), 1, mmu.Write)
 				if f != nil {
 					return f
 				}
@@ -134,7 +156,7 @@ func compileWrite(op *isa.Operand, size uint8) writeFn {
 			if useSS {
 				sel = m.SS
 			}
-			pa, f := m.MMU.TranslateProbed(probe, sel, addr(m), 4, mmu.Write, m.CPL())
+			pa, f := xl(m, sel, addr(m), 4, mmu.Write)
 			if f != nil {
 				return f
 			}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/verify"
 	"repro/sandbox"
 )
 
@@ -43,7 +44,14 @@ type MatrixCell struct {
 	// Result is the workload's sanity value (filter verdict 1, HTTP
 	// status 200).
 	Result uint32 `json:"result"`
-	Note   string `json:"note,omitempty"`
+	// Verified is the load-time static verifier's verdict for the
+	// cell's extension ("clean", "guarded"), or "-" where the cell
+	// does not verify (unsupported combinations). Matrix cells load
+	// with sandbox.LoadOptions.Verify, so clean cells also run with
+	// tier-2 check elision — whose simulated metrics are bit-identical
+	// to the unverified load by construction.
+	Verified string `json:"verified,omitempty"`
+	Note     string `json:"note,omitempty"`
 }
 
 // MatrixReport is the BENCH_matrix.json payload.
@@ -60,10 +68,23 @@ type MatrixReport struct {
 // matrixOp is one prepared cell: op runs one operation and returns
 // the workload's sanity value.
 type matrixOp struct {
-	op      func() (uint32, error)
-	clock   *cycles.Clock
-	inPaper bool
-	note    string
+	op       func() (uint32, error)
+	clock    *cycles.Clock
+	inPaper  bool
+	note     string
+	verified string
+}
+
+// verifiedOf reads the static verifier's verdict off a loaded
+// extension ("-" when the backend attached no report).
+func verifiedOf(ext sandbox.Extension) string {
+	type reporter interface{ VerifyReport() *verify.Report }
+	if vr, ok := ext.(reporter); ok {
+		if rep := vr.VerifyReport(); rep != nil {
+			return rep.Status.String()
+		}
+	}
+	return "-"
 }
 
 // cgiScriptSrc is the Table 3 LibCGI script (webserver.scriptSrc's
@@ -125,6 +146,7 @@ func MeasureMatrix(requests int, backends []string) (MatrixReport, error) {
 			cell.Supported = true
 			cell.InPaper = prep.inPaper
 			cell.Note = prep.note
+			cell.Verified = prep.verified
 			// Warm one op (the paper's cache-warm methodology), then
 			// measure the span of the run.
 			if cell.Result, err = prep.op(); err != nil {
@@ -184,7 +206,22 @@ func preparePacketFilterCell(s *core.System, backend string) (*matrixOp, error) 
 		fil, err = filter.NewInterpreted(s, terms)
 		mo.inPaper, mo.note = true, "Figure 7 interpreted filter"
 	case "palladium-kernel":
-		fil, err = filter.NewCompiled(s, terms)
+		// filter.NewCompiled's exact load, plus the static verifier:
+		// verified cells run with tier-2 check elision (metrics are
+		// bit-identical to the unverified load by construction).
+		obj, entry, cerr := filter.CompileObject(terms)
+		if cerr != nil {
+			return nil, cerr
+		}
+		b, oerr := sandbox.Open(backend, sandbox.HostFor(s))
+		if oerr != nil {
+			return nil, oerr
+		}
+		ext, lerr := b.Load(obj, sandbox.WithVerify(sandbox.LoadOptions{Entry: entry, SharedSymbol: "shared_area"}))
+		if lerr != nil {
+			return nil, lerr
+		}
+		fil = filter.NewFilter("Palladium", ext, true)
 		mo.inPaper, mo.note = true, "Figure 7 compiled in-kernel filter"
 	case "direct", "palladium-user", "sfi", "rpc":
 		obj, entry, cerr := filter.CompileObject(terms)
@@ -195,8 +232,8 @@ func preparePacketFilterCell(s *core.System, backend string) (*matrixOp, error) 
 		if oerr != nil {
 			return nil, oerr
 		}
-		opts := sandbox.LoadOptions{Entry: entry, SharedSymbol: "shared_area",
-			ReqBytes: filter.HeaderLen, RespBytes: 4}
+		opts := sandbox.WithVerify(sandbox.LoadOptions{Entry: entry, SharedSymbol: "shared_area",
+			ReqBytes: filter.HeaderLen, RespBytes: 4})
 		if backend == "sfi" {
 			// Read guards: the filter only loads packet bytes, so the
 			// write-only mode would guard nothing.
@@ -220,6 +257,7 @@ func preparePacketFilterCell(s *core.System, backend string) (*matrixOp, error) 
 	if err != nil {
 		return nil, err
 	}
+	mo.verified = verifiedOf(fil.Extension())
 	mo.op = func() (uint32, error) {
 		ok, err := fil.Match(pkt)
 		if err != nil {
@@ -263,10 +301,11 @@ func prepareLibCGICell(s *core.System, backend string) (*matrixOp, error) {
 	if err != nil {
 		return nil, err
 	}
-	ext, err := b.Load(isa.MustAssemble("cgiscript", src), opts)
+	ext, err := b.Load(isa.MustAssemble("cgiscript", src), sandbox.WithVerify(opts))
 	if err != nil {
 		return nil, err
 	}
+	mo.verified = verifiedOf(ext)
 	st, ok := ext.(sandbox.Stager)
 	if !ok {
 		return nil, fmt.Errorf("%s extension has no staging area", backend)
@@ -308,6 +347,24 @@ func RenderMatrix(w io.Writer, rep MatrixReport) {
 			default:
 				fmt.Fprintf(w, " %16.0f", cell.CyclesPerOp)
 			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\nLoad-time verifier verdict per cell (clean = all accesses proven, guarded = runtime checks carry the burden)")
+	fmt.Fprintf(w, "%-14s", "")
+	for _, b := range rep.Backends {
+		fmt.Fprintf(w, " %16s", b)
+	}
+	fmt.Fprintln(w)
+	for _, wl := range rep.Workloads {
+		fmt.Fprintf(w, "%-14s", wl)
+		for _, b := range rep.Backends {
+			cell := findCell(rep, wl, b)
+			v := "-"
+			if cell != nil && cell.Supported && cell.Verified != "" {
+				v = cell.Verified
+			}
+			fmt.Fprintf(w, " %16s", v)
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/bpf"
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/filter"
+	"repro/internal/isa"
+	"repro/internal/verify"
+	"repro/sandbox"
+)
+
+// The -verify experiment: run the load-time static verifier over the
+// adversarial escape suite (every program must be refused before it
+// runs) and the paper's workloads (every one must be accepted), then
+// benchmark what verification buys at run time — tier-2 check elision
+// on the hot loop, with every simulated metric bit-identical to the
+// unverified run.
+
+// VerifyCase is one program's verdict through a backend's load gate.
+type VerifyCase struct {
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	// Status is the verifier's verdict ("clean", "guarded",
+	// "rejected").
+	Status string `json:"status"`
+	// Violations are the definite findings of rejected programs.
+	Violations []string `json:"violations,omitempty"`
+	// Elidable counts proved accesses the tier-2 translator may elide.
+	Elidable int `json:"elidable_accesses,omitempty"`
+	// MaxSteps is the proven step bound of bounded programs.
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	Bounded  bool   `json:"bounded"`
+}
+
+// VerifyElision is the run-time half: the verified hot loop against
+// its unverified twin.
+type VerifyElision struct {
+	// Invocations per measured run.
+	Invocations int `json:"invocations"`
+	// Runs is the median pool size for the host wall-clock numbers.
+	Runs int `json:"runs"`
+	// Result is the loop's return value (both runs must agree).
+	Result uint32 `json:"result"`
+	// SimCyclesVerified/SimCyclesBaseline are the total simulated
+	// cycles of each run; MetricsIdentical asserts they are
+	// bit-identical (elision only skips re-validation work the cost
+	// model never charged).
+	SimCyclesVerified float64 `json:"sim_cycles_verified"`
+	SimCyclesBaseline float64 `json:"sim_cycles_baseline"`
+	MetricsIdentical  bool    `json:"metrics_identical"`
+	// ElidedChecks counts segment-limit re-validations skipped by the
+	// verified run (0 for the baseline by construction).
+	ElidedChecks uint64 `json:"elided_checks"`
+	// HostNsVerified/HostNsBaseline are median host wall-clock
+	// nanoseconds per run; SpeedupPct is the host-time improvement of
+	// the verified run (positive = faster).
+	HostNsVerified int64   `json:"host_ns_verified"`
+	HostNsBaseline int64   `json:"host_ns_baseline"`
+	SpeedupPct     float64 `json:"speedup_pct"`
+}
+
+// VerifyBenchReport is the BENCH_verify.json payload.
+type VerifyBenchReport struct {
+	Note     string        `json:"note"`
+	Accepted []VerifyCase  `json:"accepted"`
+	Rejected []VerifyCase  `json:"rejected"`
+	Elision  VerifyElision `json:"elision"`
+}
+
+// verifyEscapes is the PR-2-style adversarial escape suite routed
+// through the sandbox gates: each program must be refused at load.
+func verifyEscapes() []struct{ name, backend, src string } {
+	absWrite := fmt.Sprintf(`
+		.global escape
+		.text
+		escape:
+			mov eax, 1
+			mov [%d], eax
+			ret
+	`, int32(0x0040_3000))
+	indirectJmp := fmt.Sprintf(`
+		.global escape
+		.text
+		escape:
+			mov eax, %d
+			jmp eax
+	`, int32(-0x3FFF_F000)) // 0xC0001000
+	lcallLiteral := `
+		.global escape
+		.text
+		escape:
+			lcall 0x08
+			ret
+	`
+	forgedLret := `
+		.global escape
+		.text
+		escape:
+			push 0x08
+			push 0
+			lret
+	`
+	kernelOOB := fmt.Sprintf(`
+		.global escape
+		.text
+		escape:
+			mov eax, 255
+			mov [%d], eax
+			ret
+	`, int32(0x0003_0000))
+	return []struct{ name, backend, src string }{
+		{"abs write to hidden page", "palladium-user", absWrite},
+		{"indirect jump into the kernel", "palladium-user", indirectJmp},
+		{"lcall at the kernel code descriptor", "palladium-user", lcallLiteral},
+		{"lret to a forged ring-0 selector", "palladium-user", forgedLret},
+		{"abs write beyond the segment", "palladium-kernel", kernelOOB},
+		{"indirect jump out of the segment", "palladium-kernel", indirectJmp},
+		{"indirect jump under sfi", "sfi", indirectJmp},
+		{"abs write under direct", "direct", absWrite},
+	}
+}
+
+// verifyHotLoopSrc is BenchmarkRunHotLoop's counted compute loop as a
+// loadable extension: both scratch accesses verify Clean with
+// elidable facts and the dec/jne latch proves the step bound.
+const verifyHotLoopSrc = `
+	.global hotloop
+	.text
+	hotloop:
+		mov eax, 0
+		mov ecx, 1000
+	loop:
+		add eax, ecx
+		mov [scratch], eax
+		mov ebx, [scratch]
+		dec ecx
+		jne loop
+		ret
+	.data
+	scratch: .long 0
+`
+
+func verifyCaseOf(name, backend string, rep *verify.Report) VerifyCase {
+	c := VerifyCase{
+		Name: name, Backend: backend, Status: rep.Status.String(),
+		Elidable: rep.Elidable, MaxSteps: rep.MaxSteps, Bounded: rep.Bounded,
+	}
+	for _, f := range rep.Violations {
+		c.Violations = append(c.Violations, f.String())
+	}
+	return c
+}
+
+func newVerifyHost() (*sandbox.Host, error) {
+	s, err := core.NewSystem(cycles.Measured())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.K.CreateProcess(); err != nil {
+		return nil, err
+	}
+	return sandbox.HostFor(s), nil
+}
+
+// MeasureVerify runs the static-verification experiment:
+// `invocations` hot-loop calls per elision run, `runs` runs for the
+// host wall-clock median.
+func MeasureVerify(invocations, runs int) (VerifyBenchReport, error) {
+	if invocations < 1 || runs < 1 {
+		return VerifyBenchReport{}, fmt.Errorf("experiments: verify needs invocations and runs >= 1")
+	}
+	rep := VerifyBenchReport{
+		Note: "Load-time static verifier: escape programs are refused before they run, paper workloads are " +
+			"accepted, and verified-clean extensions run tier 2 with segment-limit re-validations elided — " +
+			"host-time savings at bit-identical simulated metrics.",
+	}
+
+	// Reject side: every escape program, through the real load gates.
+	for _, esc := range verifyEscapes() {
+		h, err := newVerifyHost()
+		if err != nil {
+			return rep, err
+		}
+		b, err := sandbox.Open(esc.backend, h)
+		if err != nil {
+			return rep, err
+		}
+		obj := isa.MustAssemble("escape", esc.src)
+		_, err = b.Load(obj, sandbox.WithVerify(sandbox.LoadOptions{Entry: "escape"}))
+		f, ok := err.(*sandbox.Fault)
+		if !ok || f.Report == nil || f.Report.Accepted() {
+			return rep, fmt.Errorf("experiments: escape %q x %s not statically rejected (err %v)", esc.name, esc.backend, err)
+		}
+		rep.Rejected = append(rep.Rejected, verifyCaseOf(esc.name, esc.backend, f.Report))
+	}
+
+	// Accept side: the paper workloads, through the same gates.
+	accepts := []struct {
+		name, backend, src, entry string
+		opts                      sandbox.LoadOptions
+	}{
+		{"hot loop", "palladium-kernel", verifyHotLoopSrc, "hotloop", sandbox.LoadOptions{}},
+		{"Table 2 strrev", "palladium-user", StrrevSrc, "strrev", sandbox.LoadOptions{SharedBytes: 4096}},
+		{"Table 3 LibCGI script", "palladium-user", cgiScriptSrc, "cgi_script", sandbox.LoadOptions{SharedBytes: 4096}},
+		{"LibCGI script in a kernel segment", "palladium-kernel", kernelCGIScriptSrc, "cgi_script", sandbox.LoadOptions{SharedSymbol: "cgi_env"}},
+	}
+	for _, ac := range accepts {
+		h, err := newVerifyHost()
+		if err != nil {
+			return rep, err
+		}
+		b, err := sandbox.Open(ac.backend, h)
+		if err != nil {
+			return rep, err
+		}
+		ac.opts.Entry = ac.entry
+		ext, err := b.Load(isa.MustAssemble(ac.entry, ac.src), sandbox.WithVerify(ac.opts))
+		if err != nil {
+			return rep, fmt.Errorf("experiments: workload %q x %s refused: %w", ac.name, ac.backend, err)
+		}
+		vrep := ext.(interface{ VerifyReport() *verify.Report }).VerifyReport()
+		rep.Accepted = append(rep.Accepted, verifyCaseOf(ac.name, ac.backend, vrep))
+	}
+	// The Figure 7 compiled filter, via its real compiler.
+	{
+		h, err := newVerifyHost()
+		if err != nil {
+			return rep, err
+		}
+		pkt := filter.MakeUDPPacket(1234, 53, 64)
+		obj, entry, err := filter.CompileObject(filter.TermsTrueFor(pkt, 4))
+		if err != nil {
+			return rep, err
+		}
+		b, err := sandbox.Open("palladium-kernel", h)
+		if err != nil {
+			return rep, err
+		}
+		ext, err := b.Load(obj, sandbox.WithVerify(sandbox.LoadOptions{Entry: entry, SharedSymbol: "shared_area"}))
+		if err != nil {
+			return rep, fmt.Errorf("experiments: compiled filter refused: %w", err)
+		}
+		vrep := ext.(interface{ VerifyReport() *verify.Report }).VerifyReport()
+		rep.Accepted = append(rep.Accepted, verifyCaseOf("Figure 7 compiled filter", "palladium-kernel", vrep))
+	}
+	// The Figure 7 interpreted filter, through the BPF checker.
+	{
+		pkt := filter.MakeUDPPacket(1234, 53, 64)
+		prog := bpf.Conjunction(filter.TermsTrueFor(pkt, 4))
+		rep.Accepted = append(rep.Accepted, verifyCaseOf("Figure 7 interpreted filter", "bpf", prog.Verify()))
+	}
+
+	// Elision: the verified hot loop against its unverified twin.
+	el, err := measureElision(invocations, runs)
+	if err != nil {
+		return rep, err
+	}
+	rep.Elision = el
+	return rep, nil
+}
+
+// measureElision runs the hot loop with and without verification.
+// Simulated metrics must be bit-identical; the verified run skips the
+// segment-limit re-validation on each scratch access, and the host
+// wall-clock difference is what that skipped work costs.
+func measureElision(invocations, runs int) (VerifyElision, error) {
+	el := VerifyElision{Invocations: invocations, Runs: runs}
+	one := func(verified bool) (uint32, float64, uint64, int64, error) {
+		h, err := newVerifyHost()
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		b, err := sandbox.Open("palladium-kernel", h)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		opts := sandbox.LoadOptions{Entry: "hotloop"}
+		if verified {
+			opts = sandbox.WithVerify(opts)
+		}
+		ext, err := b.Load(isa.MustAssemble("hotloop", verifyHotLoopSrc), opts)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		clock := h.Sys.K.Clock
+		startCyc := clock.Cycles()
+		var v uint32
+		startNs := time.Now()
+		for i := 0; i < invocations; i++ {
+			if v, err = ext.Invoke(0); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		wall := time.Since(startNs).Nanoseconds()
+		return v, clock.Cycles() - startCyc, h.Sys.K.Machine.MMU.ElidedChecks(), wall, nil
+	}
+
+	wallsV := make([]int64, 0, runs)
+	wallsB := make([]int64, 0, runs)
+	for r := 0; r < runs; r++ {
+		vB, cycB, elB, wallB, err := one(false)
+		if err != nil {
+			return el, err
+		}
+		vV, cycV, elV, wallV, err := one(true)
+		if err != nil {
+			return el, err
+		}
+		if elB != 0 {
+			return el, fmt.Errorf("experiments: baseline run elided %d checks", elB)
+		}
+		if elV == 0 {
+			return el, fmt.Errorf("experiments: verified run elided no checks")
+		}
+		el.Result = vV
+		el.SimCyclesVerified, el.SimCyclesBaseline = cycV, cycB
+		el.MetricsIdentical = vV == vB && cycV == cycB
+		if !el.MetricsIdentical {
+			return el, fmt.Errorf("experiments: simulated metrics diverge under elision (result %d vs %d, cycles %v vs %v)",
+				vV, vB, cycV, cycB)
+		}
+		el.ElidedChecks = elV
+		wallsV = append(wallsV, wallV)
+		wallsB = append(wallsB, wallB)
+	}
+	el.HostNsVerified = medianInt64(wallsV)
+	el.HostNsBaseline = medianInt64(wallsB)
+	if el.HostNsBaseline > 0 {
+		el.SpeedupPct = 100 * float64(el.HostNsBaseline-el.HostNsVerified) / float64(el.HostNsBaseline)
+	}
+	return el, nil
+}
+
+func medianInt64(xs []int64) int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// RenderVerify prints the verification report.
+func RenderVerify(w io.Writer, rep VerifyBenchReport) {
+	fmt.Fprintln(w, "Load-time static verification (abstract interpretation over the ISA)")
+	fmt.Fprintln(w, "\nEscape suite — every program refused before it runs:")
+	for _, c := range rep.Rejected {
+		fmt.Fprintf(w, "  %-38s %-17s %s\n", c.Name, c.Backend, c.Status)
+		for _, v := range c.Violations {
+			fmt.Fprintf(w, "%42s %s\n", "", v)
+		}
+	}
+	fmt.Fprintln(w, "\nPaper workloads — every one accepted:")
+	for _, c := range rep.Accepted {
+		extra := ""
+		if c.Bounded {
+			extra = fmt.Sprintf("  (bounded, <= %d steps)", c.MaxSteps)
+		}
+		if c.Elidable > 0 {
+			extra += fmt.Sprintf("  %d elidable accesses", c.Elidable)
+		}
+		fmt.Fprintf(w, "  %-38s %-17s %s%s\n", c.Name, c.Backend, c.Status, extra)
+	}
+	el := rep.Elision
+	fmt.Fprintf(w, "\nTier-2 check elision (hot loop, %d invocations, median of %d runs):\n", el.Invocations, el.Runs)
+	fmt.Fprintf(w, "  elided segment-limit checks: %d\n", el.ElidedChecks)
+	fmt.Fprintf(w, "  simulated metrics identical: %v (%.0f cycles both ways, result %d)\n",
+		el.MetricsIdentical, el.SimCyclesVerified, el.Result)
+	fmt.Fprintf(w, "  host time: %d ns verified vs %d ns baseline (%.1f%% faster)\n",
+		el.HostNsVerified, el.HostNsBaseline, el.SpeedupPct)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeasureVerifyReport pins the -verify bench end to end: every
+// escape program is statically rejected with a populated report, every
+// paper workload is accepted, and elision leaves the simulated metrics
+// bit-identical while actually eliding checks.
+func TestMeasureVerifyReport(t *testing.T) {
+	rep, err := MeasureVerify(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected) != 8 {
+		t.Fatalf("rejected cases = %d, want 8", len(rep.Rejected))
+	}
+	for _, c := range rep.Rejected {
+		if c.Status != "rejected" {
+			t.Errorf("%s (%s): status %q, want rejected", c.Name, c.Backend, c.Status)
+		}
+		if len(c.Violations) == 0 {
+			t.Errorf("%s (%s): rejected with no violations", c.Name, c.Backend)
+		}
+	}
+	if len(rep.Accepted) != 6 {
+		t.Fatalf("accepted cases = %d, want 6", len(rep.Accepted))
+	}
+	bounded := 0
+	for _, c := range rep.Accepted {
+		if c.Status != "clean" && c.Status != "guarded" {
+			t.Errorf("%s (%s): status %q, want clean or guarded", c.Name, c.Backend, c.Status)
+		}
+		if c.Bounded {
+			bounded++
+		}
+	}
+	// Data-dependent loops (strrev over a NUL-terminated string) are
+	// legitimately unbounded statically; the constant-trip hot loop and
+	// the straight-line filters must still prove a step bound.
+	if bounded < 3 {
+		t.Errorf("bounded accepts = %d, want >= 3", bounded)
+	}
+	el := rep.Elision
+	if !el.MetricsIdentical {
+		t.Fatal("elision changed simulated metrics")
+	}
+	if el.SimCyclesVerified != el.SimCyclesBaseline {
+		t.Fatalf("sim cycles differ: verified %v vs baseline %v", el.SimCyclesVerified, el.SimCyclesBaseline)
+	}
+	if el.ElidedChecks == 0 {
+		t.Fatal("verified run elided no checks")
+	}
+	if el.Result != 500500 {
+		t.Fatalf("hot loop result = %d, want 500500", el.Result)
+	}
+	var out strings.Builder
+	RenderVerify(&out, rep)
+	for _, want := range []string{"rejected", "clean", "elided"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestMatrixVerifiedColumn pins the matrix's verifier column: every
+// supported cell carries a verdict, everything is clean except libcgi
+// under sfi, whose shared-arg pointer accesses the rewriter leaves for
+// runtime masking (so the verifier conservatively reports guarded).
+func TestMatrixVerifiedColumn(t *testing.T) {
+	rep, err := MeasureMatrix(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if !c.Supported {
+			if c.Verified != "" {
+				t.Errorf("%s x %s unsupported but verified=%q", c.Workload, c.Backend, c.Verified)
+			}
+			continue
+		}
+		want := "clean"
+		if c.Workload == "libcgi" && c.Backend == "sfi" {
+			want = "guarded"
+		}
+		if c.Verified != want {
+			t.Errorf("%s x %s verified = %q, want %q", c.Workload, c.Backend, c.Verified, want)
+		}
+	}
+}

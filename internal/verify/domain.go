@@ -1,0 +1,208 @@
+package verify
+
+import "fmt"
+
+// region tags an abstract value with the address space it points
+// into. The domain is a reduced product of a base region and an
+// offset interval: "data+[0,255]" is any address between the module
+// data base and data base + 255.
+type region uint8
+
+const (
+	// rConst: a plain number (an absolute address when dereferenced),
+	// interval canonical in [0, 2^32).
+	rConst region = iota
+	// rData: module data+bss base plus the interval.
+	rData
+	// rText: module text base plus the interval.
+	rText
+	// rStack: entry stack pointer plus the (signed) interval.
+	rStack
+	// rArg: the entry argument pointer plus the interval.
+	rArg
+	// rTop: unknown.
+	rTop
+)
+
+func (r region) String() string {
+	switch r {
+	case rConst:
+		return "abs"
+	case rData:
+		return "data"
+	case rText:
+		return "text"
+	case rStack:
+		return "stack"
+	case rArg:
+		return "arg"
+	}
+	return "top"
+}
+
+// aval is one abstract value: a region plus an inclusive offset
+// interval. The interval is meaningless for rTop.
+type aval struct {
+	r      region
+	lo, hi int64
+}
+
+var top = aval{r: rTop}
+
+func cst(v uint32) aval { return aval{rConst, int64(v), int64(v)} }
+
+func (a aval) isTop() bool { return a.r == rTop }
+
+// exact reports a single-point constant and its value.
+func (a aval) exact() (uint32, bool) {
+	if a.r == rConst && a.lo == a.hi {
+		return uint32(a.lo), true
+	}
+	return 0, false
+}
+
+func (a aval) String() string {
+	if a.r == rTop {
+		return "top"
+	}
+	if a.lo == a.hi {
+		return fmt.Sprintf("%s+%#x", a.r, uint64(uint32(a.lo)))
+	}
+	return fmt.Sprintf("%s+[%#x,%#x]", a.r, a.lo, a.hi)
+}
+
+// rangeString renders an access interval [lo, hi] (inclusive byte
+// ends) for findings.
+func rangeString(r region, lo, hi int64) string {
+	if r == rTop {
+		return ""
+	}
+	if r == rConst {
+		return fmt.Sprintf("abs[%#x,%#x]", lo, hi)
+	}
+	return fmt.Sprintf("%s[%d,%d]", r, lo, hi)
+}
+
+// norm canonicalizes an rConst value into [0, 2^32): exact values
+// wrap like the 32-bit machine; inexact intervals that leave the
+// range lose all precision (the runtime wrap could land anywhere).
+// Region offsets are left alone — bounds checks interpret them.
+func norm(a aval) aval {
+	if a.r != rConst {
+		return a
+	}
+	if a.lo == a.hi {
+		return cst(uint32(a.lo))
+	}
+	if a.lo < 0 || a.hi > 0xFFFF_FFFF {
+		return top
+	}
+	return a
+}
+
+// join is the lattice join: same-region intervals widen, mismatched
+// regions lose to top.
+func join(a, b aval) aval {
+	if a.isTop() || b.isTop() || a.r != b.r {
+		return top
+	}
+	return aval{a.r, min(a.lo, b.lo), max(a.hi, b.hi)}
+}
+
+// addAv adds two abstract values: a constant shifts a region's
+// interval; two regions (or any top) lose to top.
+func addAv(a, b aval) aval {
+	switch {
+	case a.isTop() || b.isTop():
+		return top
+	case a.r == rConst && b.r == rConst:
+		return norm(aval{rConst, a.lo + b.lo, a.hi + b.hi})
+	case a.r == rConst:
+		return aval{b.r, b.lo + a.lo, b.hi + a.hi}
+	case b.r == rConst:
+		return aval{a.r, a.lo + b.lo, a.hi + b.hi}
+	}
+	return top
+}
+
+// subAv subtracts: region minus constant shifts; same-region
+// difference collapses to a plain number (a length).
+func subAv(a, b aval) aval {
+	switch {
+	case a.isTop() || b.isTop():
+		return top
+	case a.r == rConst && b.r == rConst:
+		return norm(aval{rConst, a.lo - b.hi, a.hi - b.lo})
+	case b.r == rConst:
+		return aval{a.r, a.lo - b.hi, a.hi - b.lo}
+	case a.r == b.r:
+		return norm(aval{rConst, a.lo - b.hi, a.hi - b.lo})
+	}
+	return top
+}
+
+// mulConst multiplies an abstract value by a small non-negative
+// constant (index scaling, imul by immediate).
+func mulConst(a aval, c int64) aval {
+	if a.isTop() || a.r != rConst || c < 0 {
+		if c == 1 {
+			return a
+		}
+		return top
+	}
+	return norm(aval{rConst, a.lo * c, a.hi * c})
+}
+
+// onesCover returns the smallest 2^k-1 >= v, the tightest all-ones
+// upper bound for OR reasoning.
+func onesCover(v int64) int64 {
+	c := int64(1)
+	for c-1 < v {
+		c <<= 1
+	}
+	return c - 1
+}
+
+// andAv models dst &= src. Masking a pointer yields a plain number.
+func andAv(a, b aval) aval {
+	av, aok := a.exact()
+	bv, bok := b.exact()
+	if aok && bok {
+		return cst(av & bv)
+	}
+	// x & mask <= mask, and <= x when x is a known plain interval.
+	if bok {
+		hi := int64(bv)
+		if a.r == rConst && a.hi < hi {
+			hi = a.hi
+		}
+		return aval{rConst, 0, hi}
+	}
+	if aok {
+		hi := int64(av)
+		if b.r == rConst && b.hi < hi {
+			hi = b.hi
+		}
+		return aval{rConst, 0, hi}
+	}
+	return top
+}
+
+// orAv models dst |= src: c|x >= c and c|x <= c | onesCover(hi(x)) —
+// exactly the reasoning the SFI mask-and-rebase sequence needs
+// ("and edi, size-1; or edi, base" proves base <= edi < base+size
+// for power-of-two sizes).
+func orAv(a, b aval) aval {
+	av, aok := a.exact()
+	bv, bok := b.exact()
+	if aok && bok {
+		return cst(av | bv)
+	}
+	if bok && a.r == rConst && a.lo >= 0 {
+		return norm(aval{rConst, max(a.lo, int64(bv)), int64(bv) | onesCover(a.hi)})
+	}
+	if aok && b.r == rConst && b.lo >= 0 {
+		return norm(aval{rConst, max(b.lo, int64(av)), int64(av) | onesCover(b.hi)})
+	}
+	return top
+}

@@ -1,6 +1,8 @@
 package sandbox
 
 import (
+	"errors"
+
 	"repro/internal/bpf"
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -33,11 +35,20 @@ func (b *bpfBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, error) 
 		return nil, rejectf("bpf", "no BPF program (LoadOptions.BPF)")
 	}
 	prog := opts.BPF
+	// The classic BPF validator reports through the same verify.Report
+	// type as the ISA verifier; it always runs (it is the mechanism's
+	// entire protection story), with or without LoadOptions.Verify.
+	rep := prog.Verify()
 	if err := prog.Validate(); err != nil {
-		return nil, classify("bpf", "load", err)
+		fErr := classify("bpf", "load", err)
+		var f *Fault
+		if errors.As(fErr, &f) {
+			f.Report = rep
+		}
+		return nil, fErr
 	}
 	in := bpf.NewInterp(b.h.Sys.K.Clock)
-	e := &extBase{h: b.h, backend: "bpf", entry: "bpf", bound: opts.AsyncBound}
+	e := &extBase{h: b.h, backend: "bpf", entry: "bpf", bound: opts.AsyncBound, report: rep}
 	var staged []byte
 	e.stage = func(bts []byte) error {
 		staged = append(staged[:0], bts...)

@@ -28,6 +28,13 @@ func (b *directBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, erro
 	if opts.Entry == "" {
 		return nil, rejectf("direct", "no entry symbol")
 	}
+	// The direct backend enforces nothing at run time, so a verified
+	// load is judged against the user-level layout its siblings share:
+	// what the verifier proves safe there holds a fortiori here.
+	obj, rep, err := verifyGate("direct", obj, opts, userVerifyLayout("direct", obj, opts))
+	if err != nil {
+		return nil, err
+	}
 	a, err := b.h.App()
 	if err != nil {
 		return nil, classify("direct", "load", err)
@@ -40,7 +47,7 @@ func (b *directBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, erro
 	if err != nil {
 		return nil, classify("direct", "load", err)
 	}
-	e := &extBase{h: b.h, backend: "direct", entry: opts.Entry, bound: opts.AsyncBound}
+	e := &extBase{h: b.h, backend: "direct", entry: opts.Entry, bound: opts.AsyncBound, report: rep}
 	if err := bindUserShared(e, a, handle, opts); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package sandbox
 
 import (
 	"repro/internal/core"
+	"repro/internal/verify"
 )
 
 // extBase carries the behavior every adapter shares: stats
@@ -30,6 +31,10 @@ type extBase struct {
 	ownDrain   func() (int, error)
 	ownPending func() int
 
+	// report is the static verifier's accept-side evidence when the
+	// extension was loaded with LoadOptions.Verify (nil otherwise).
+	report *verify.Report
+
 	queue    []uint32
 	bound    int
 	released bool
@@ -45,6 +50,10 @@ type extBase struct {
 
 // Backend implements Extension.
 func (e *extBase) Backend() string { return e.backend }
+
+// VerifyReport returns the static verifier's report for this
+// extension, or nil when it was loaded without LoadOptions.Verify.
+func (e *extBase) VerifyReport() *verify.Report { return e.report }
 
 // Stats implements Extension.
 func (e *extBase) Stats() Stats {

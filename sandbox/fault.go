@@ -7,6 +7,7 @@ import (
 	"repro/internal/bpf"
 	"repro/internal/core"
 	"repro/internal/mmu"
+	"repro/internal/verify"
 )
 
 // Class is the unified fault classification: the same escape attempt
@@ -80,6 +81,11 @@ type Fault struct {
 	// RolledBack reports that the machine was restored to its
 	// pre-call snapshot (WithTx).
 	RolledBack bool
+	// Report is the static verifier's structured evidence, present on
+	// ValidationReject faults produced by the LoadOptions.Verify gate
+	// (and on bpf validation rejects, whose classic checker reports
+	// through the same type).
+	Report *verify.Report
 
 	cause error
 }

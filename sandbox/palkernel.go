@@ -28,6 +28,10 @@ func (b *palKernelBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, e
 	if opts.Entry == "" {
 		return nil, rejectf("palladium-kernel", "no entry symbol")
 	}
+	obj, rep, err := verifyGate("palladium-kernel", obj, opts, kernelVerifyLayout(obj, opts))
+	if err != nil {
+		return nil, err
+	}
 	s := b.h.Sys
 	seg, err := s.NewExtSegment(obj.Name, opts.SegmentSize)
 	if err != nil {
@@ -47,6 +51,7 @@ func (b *palKernelBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, e
 		seg.QueueBound = opts.AsyncBound
 	}
 	e := newKernelExt(b.h, seg, fn)
+	e.report = rep
 	if opts.SharedSymbol != "" {
 		off, ok := im.Lookup(opts.SharedSymbol)
 		if !ok {

@@ -28,6 +28,10 @@ func (b *palUserBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, err
 	if opts.Entry == "" {
 		return nil, rejectf("palladium-user", "no entry symbol")
 	}
+	obj, rep, err := verifyGate("palladium-user", obj, opts, userVerifyLayout("palladium-user", obj, opts))
+	if err != nil {
+		return nil, err
+	}
 	a, err := b.h.App()
 	if err != nil {
 		return nil, classify("palladium-user", "load", err)
@@ -40,7 +44,7 @@ func (b *palUserBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, err
 	if err != nil {
 		return nil, classify("palladium-user", "load", err)
 	}
-	e := &extBase{h: b.h, backend: "palladium-user", entry: opts.Entry, bound: opts.AsyncBound}
+	e := &extBase{h: b.h, backend: "palladium-user", entry: opts.Entry, bound: opts.AsyncBound, report: rep}
 	if err := bindUserShared(e, a, handle, opts); err != nil {
 		return nil, err
 	}

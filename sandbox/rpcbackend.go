@@ -30,6 +30,12 @@ func (b *rpcBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, error) 
 	if opts.Entry == "" {
 		return nil, rejectf("rpc", "no entry symbol")
 	}
+	// The server process runs the object as an ordinary user-level
+	// call, so a verified load is judged against the user layout.
+	obj, rep, err := verifyGate("rpc", obj, opts, userVerifyLayout("rpc", obj, opts))
+	if err != nil {
+		return nil, err
+	}
 	a, err := b.h.App()
 	if err != nil {
 		return nil, classify("rpc", "load", err)
@@ -53,7 +59,7 @@ func (b *rpcBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, error) 
 	if respBytes <= 0 {
 		respBytes = 4
 	}
-	e := &extBase{h: b.h, backend: "rpc", entry: opts.Entry, bound: opts.AsyncBound}
+	e := &extBase{h: b.h, backend: "rpc", entry: opts.Entry, bound: opts.AsyncBound, report: rep}
 	if err := bindUserShared(e, a, handle, opts); err != nil {
 		return nil, err
 	}

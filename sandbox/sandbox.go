@@ -190,6 +190,27 @@ type LoadOptions struct {
 	// AsyncBound caps the WithAsync queue (0 = the kernel mechanism's
 	// DefaultAsyncQueueBound).
 	AsyncBound int
+	// Verify runs the load-time static verifier (internal/verify) over
+	// the object before it is placed under the mechanism: abstract
+	// interpretation over the ISA against the backend's declared
+	// segment layout. Objects with a definite violation are refused
+	// with a ValidationReject fault carrying the structured
+	// verify.Report; accepted objects are loaded with their proved
+	// per-operand bounds annotated, which lets the tier-2 translator
+	// elide the segment-limit re-validation for those accesses.
+	// Backends without a native-code load (bpf, rpc) report through
+	// the same verify.Report type but ignore the flag's gating (bpf
+	// always validates).
+	Verify bool
+}
+
+// WithVerify returns o with the static load-time verifier enabled —
+// sugar for option-literal call sites:
+//
+//	ext, err := b.Load(obj, sandbox.WithVerify(sandbox.LoadOptions{Entry: "f"}))
+func WithVerify(o LoadOptions) LoadOptions {
+	o.Verify = true
+	return o
 }
 
 // InvokeOption modifies one invocation.

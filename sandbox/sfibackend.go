@@ -41,6 +41,13 @@ func (b *sfiBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, error) 
 	if err != nil {
 		return nil, classify("sfi", "load", err)
 	}
+	// Verify the *rewritten* object: the mask sequences the rewriter
+	// inserted are precisely what lets the interval domain prove the
+	// guarded accesses land in the region.
+	rewritten, rep, err := verifyGate("sfi", rewritten, opts, sfiVerifyLayout(cfg, rewritten, opts))
+	if err != nil {
+		return nil, err
+	}
 	a, err := b.h.App()
 	if err != nil {
 		return nil, classify("sfi", "load", err)
@@ -70,7 +77,7 @@ func (b *sfiBackend) Load(obj *isa.Object, opts LoadOptions) (Extension, error) 
 	if err != nil {
 		return nil, classify("sfi", "load", err)
 	}
-	e := &extBase{h: b.h, backend: "sfi", entry: opts.Entry, bound: opts.AsyncBound}
+	e := &extBase{h: b.h, backend: "sfi", entry: opts.Entry, bound: opts.AsyncBound, report: rep}
 
 	// Staging: with read guards on, the rewritten code reads through
 	// masked addresses, so the stager writes each byte where the

@@ -1,0 +1,239 @@
+package sandbox
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/bpf"
+	"repro/internal/isa"
+	"repro/internal/verify"
+)
+
+// verifyReporter is the accessor every adapter's extension exposes.
+type verifyReporter interface {
+	VerifyReport() *verify.Report
+}
+
+// TestVerifyGateRejectsEscapes runs PR-2-style escape programs
+// through the load-time verifier gate of each native-code backend:
+// with LoadOptions.Verify the load is refused (ValidationReject
+// carrying the structured report) before the program ever runs, while
+// the same object still loads fine without the opt-in — the escape is
+// then only caught by the runtime mechanism.
+func TestVerifyGateRejectsEscapes(t *testing.T) {
+	absWrite := fmt.Sprintf(`
+		.global escape
+		.text
+		escape:
+			mov eax, 1
+			mov [%d], eax
+			ret
+	`, int32(0x0040_3000))
+	indirectJmp := fmt.Sprintf(`
+		.global escape
+		.text
+		escape:
+			mov eax, %d
+			jmp eax
+	`, int32(-0x3FFF_F000)) // 0xC0001000 as the assembler's signed immediate
+	forgedLret := `
+		.global escape
+		.text
+		escape:
+			push 0x08
+			push 0
+			lret
+	`
+	cases := []struct {
+		name    string
+		backend string
+		src     string
+	}{
+		{"paluser abs write", "palladium-user", absWrite},
+		{"paluser forged lret", "palladium-user", forgedLret},
+		{"kernel abs write", "palladium-kernel", absWrite},
+		{"kernel indirect jmp", "palladium-kernel", indirectJmp},
+		{"direct abs write", "direct", absWrite},
+		// The sfi rewriter masks the store, so the write variants
+		// verify as confined; control flow is what SFI does not guard
+		// and the verifier still rejects.
+		{"sfi indirect jmp", "sfi", indirectJmp},
+		{"sfi forged lret", "sfi", forgedLret},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHost(t)
+			b, err := Open(tc.backend, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj := isa.MustAssemble("escape", tc.src)
+			_, err = b.Load(obj, WithVerify(LoadOptions{Entry: "escape"}))
+			var f *Fault
+			if !errors.As(err, &f) || f.Class != ValidationReject {
+				t.Fatalf("verified load = %v, want ValidationReject", err)
+			}
+			if f.Report == nil || f.Report.Status != verify.Rejected {
+				t.Fatalf("fault report = %+v, want a Rejected verify.Report", f.Report)
+			}
+			if len(f.Report.Violations) == 0 {
+				t.Fatal("rejected report carries no violations")
+			}
+			// Without the opt-in the object loads: the escape is the
+			// runtime mechanism's problem (that path is pinned by the
+			// adversarial fault suite).
+			ext, err := b.Load(obj, LoadOptions{Entry: "escape"})
+			if err != nil {
+				t.Fatalf("unverified load: %v", err)
+			}
+			if rep := ext.(verifyReporter).VerifyReport(); rep != nil {
+				t.Fatalf("unverified load has report %+v, want nil", rep)
+			}
+		})
+	}
+}
+
+// hotLoopSrc is the tier-2 elision workload: a counted compute loop
+// whose two scratch accesses are anchored data operands. It verifies
+// Clean with elidable facts under every layout.
+const hotLoopSrc = `
+	.global hotloop
+	.text
+	hotloop:
+		mov eax, 0
+		mov ecx, 1000
+	loop:
+		add eax, ecx
+		mov [scratch], eax
+		mov ebx, [scratch]
+		dec ecx
+		jne loop
+		ret
+	.data
+	scratch: .long 0
+`
+
+// TestVerifyGateAcceptsHotLoop: the paper-shaped workload verifies
+// Clean, runs correctly, and its annotated loads actually elide
+// segment-limit re-validations in tier 2.
+func TestVerifyGateAcceptsHotLoop(t *testing.T) {
+	for _, backend := range []string{"palladium-kernel", "palladium-user"} {
+		t.Run(backend, func(t *testing.T) {
+			h := newHost(t)
+			ext := load(t, h, backend, hotLoopSrc, "hotloop", WithVerify(LoadOptions{}))
+			rep := ext.(verifyReporter).VerifyReport()
+			if rep == nil || rep.Status != verify.Clean {
+				t.Fatalf("report = %+v, want Clean", rep)
+			}
+			if rep.Elidable != 2 {
+				t.Fatalf("elidable = %d, want 2", rep.Elidable)
+			}
+			before := h.Sys.K.Machine.MMU.ElidedChecks()
+			v, err := ext.Invoke(0)
+			if err != nil {
+				t.Fatalf("invoke: %v", err)
+			}
+			if v != 500500 {
+				t.Fatalf("result = %d, want 500500", v)
+			}
+			elided := h.Sys.K.Machine.MMU.ElidedChecks() - before
+			if elided == 0 {
+				t.Fatal("verified hot loop elided no segment checks")
+			}
+		})
+	}
+}
+
+// TestVerifyElisionMetricsIdentical is the differential soundness
+// check at the adapter level: the same workload on two fresh hosts,
+// loaded with and without verification, must produce bit-identical
+// results and simulated cycles — elision skips re-validation work the
+// cost model never charged for, so only the host-side elided counter
+// may differ.
+func TestVerifyElisionMetricsIdentical(t *testing.T) {
+	run := func(verifyOn bool) (uint32, float64, uint64) {
+		h := newHost(t)
+		opts := LoadOptions{}
+		if verifyOn {
+			opts = WithVerify(opts)
+		}
+		ext := load(t, h, "palladium-kernel", hotLoopSrc, "hotloop", opts)
+		start := h.Sys.K.Clock.Cycles()
+		v, err := ext.Invoke(0)
+		if err != nil {
+			t.Fatalf("invoke (verify=%v): %v", verifyOn, err)
+		}
+		return v, h.Sys.K.Clock.Cycles() - start, h.Sys.K.Machine.MMU.ElidedChecks()
+	}
+	v1, cyc1, el1 := run(false)
+	v2, cyc2, el2 := run(true)
+	if v1 != v2 {
+		t.Fatalf("results differ: %d vs %d", v1, v2)
+	}
+	if cyc1 != cyc2 {
+		t.Fatalf("simulated cycles differ: %v vs %v", cyc1, cyc2)
+	}
+	if el1 != 0 {
+		t.Fatalf("unverified run elided %d checks, want 0", el1)
+	}
+	if el2 == 0 {
+		t.Fatal("verified run elided no checks")
+	}
+}
+
+// TestVerifyGateSFIMaskedStoreClean: after the rewriter inserts the
+// and/or mask sequence, the verifier proves the guarded store lands in
+// the sandbox region (with its guard slack) — the SFI load verifies
+// clean rather than being rejected for the raw out-of-bounds address.
+func TestVerifyGateSFIMaskedStoreClean(t *testing.T) {
+	h := newHost(t)
+	src := `
+		.global poke
+		.text
+		poke:
+			mov ecx, 305419896   ; 0x12345678, far outside the region
+			mov [ecx], eax
+			ret
+	`
+	ext := load(t, h, "sfi", src, "poke", WithVerify(LoadOptions{}))
+	rep := ext.(verifyReporter).VerifyReport()
+	if rep == nil || !rep.Accepted() {
+		t.Fatalf("report = %+v, want accepted", rep)
+	}
+	if rep.Status != verify.Clean {
+		t.Fatalf("status = %v, want Clean (mask proves confinement); unproven %v", rep.Status, rep.Unproven)
+	}
+	if _, err := ext.Invoke(0); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+}
+
+// TestBPFReportRouted: the bpf backend reports through the same
+// verify.Report type — on both the accept and the reject side —
+// whether or not Verify was requested.
+func TestBPFReportRouted(t *testing.T) {
+	h := newHost(t)
+	b, err := Open("bpf", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := bpf.Conjunction([]bpf.Term{{Offset: 0, Size: 1, Value: 7}})
+	ext, err := b.Load(nil, LoadOptions{BPF: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ext.(verifyReporter).VerifyReport()
+	if rep == nil || rep.Status != verify.Clean || rep.Backend != "bpf" {
+		t.Fatalf("accept-side report = %+v, want Clean bpf report", rep)
+	}
+	bad := bpf.Program{{Op: bpf.LdImm, K: 1}} // no return
+	_, err = b.Load(nil, LoadOptions{BPF: bad})
+	var f *Fault
+	if !errors.As(err, &f) || f.Class != ValidationReject {
+		t.Fatalf("bad program load = %v, want ValidationReject", err)
+	}
+	if f.Report == nil || f.Report.Status != verify.Rejected {
+		t.Fatalf("reject-side report = %+v, want Rejected", f.Report)
+	}
+}
