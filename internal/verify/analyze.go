@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/isa"
@@ -113,35 +114,47 @@ func (an *analysis) analyzeFn(entry int, isEntry bool) {
 		}
 	}
 
-	// 5. Trip counts and the function's step bound.
+	// 5. Trip counts and the function's step bound, folded bottom-up
+	// over the loop-nesting forest: an inner loop runs in full once
+	// per iteration of every enclosing loop, so its bound multiplies
+	// by each enclosing trip count instead of summing beside it.
 	f.bounded = true
-	var loopSteps uint64
-	var latches []edge
-	for e := range f.backSet {
-		latches = append(latches, e)
+	var heads []int
+	for h := range f.loops {
+		heads = append(heads, h)
 	}
-	sort.Slice(latches, func(i, j int) bool {
-		if latches[i].from != latches[j].from {
-			return latches[i].from < latches[j].from
-		}
-		return latches[i].to < latches[j].to
-	})
-	for _, e := range latches {
-		trips, ok := an.tripCount(f, e)
-		if !ok {
-			f.bounded = false
-			if an.lay.RequireBounded {
-				an.violation(e.from, "loop bound not provable")
-				an.latchViolated = true
-			} else {
-				an.unproven(e.from, "", "loop bound not provable; the runtime time limit applies")
+	sort.Ints(heads)
+	trips := make(map[int]uint64, len(heads))
+	for _, h := range heads {
+		latches := append([]int(nil), f.loops[h].latches...)
+		sort.Ints(latches)
+		for _, l := range latches {
+			t, ok := an.tripCount(f, edge{l, h})
+			if !ok {
+				f.bounded = false
+				if an.lay.RequireBounded {
+					an.violation(l, "loop bound not provable")
+					an.latchViolated = true
+				} else {
+					an.unproven(l, "", "loop bound not provable; the runtime time limit applies")
+				}
+				continue
 			}
-			continue
+			trips[h] = satAdd(trips[h], t)
 		}
-		loopSteps += trips * uint64(len(f.loops[e.to].body))
 	}
 	if f.bounded {
-		f.steps = uint64(len(f.nodes)) + loopSteps
+		if loopSteps, ok := nestSteps(f, heads, trips); ok {
+			f.steps = satAdd(uint64(len(f.nodes)), loopSteps)
+		} else {
+			f.bounded = false
+			if an.lay.RequireBounded {
+				an.violation(f.entry, "loop nesting not reducible; bound not provable")
+				an.latchViolated = true
+			} else {
+				an.unproven(f.entry, "", "loop nesting not reducible; the runtime time limit applies")
+			}
+		}
 	}
 	f.analyzed = true
 
@@ -403,6 +416,100 @@ func (an *analysis) tripCount(f *fn, e edge) (uint64, bool) {
 	return uint64(n), true
 }
 
+// nestSteps folds the per-loop trip bounds into one step bound over
+// the loop-nesting forest: steps(L) = trips(L) * (L's own body nodes
+// + the settled bounds of its immediate inner loops). Loops nest
+// properly when, for every pair with overlapping bodies, one body
+// contains the other; irreducible overlap (or mutual head
+// containment) refuses the bound rather than undercounting it.
+func nestSteps(f *fn, heads []int, trips map[int]uint64) (uint64, bool) {
+	for i, h := range heads {
+		for _, g := range heads[i+1:] {
+			hb, gb := f.loops[h].body, f.loops[g].body
+			switch {
+			case hb[g] && gb[h]:
+				return 0, false
+			case hb[g]:
+				if !subsetOf(gb, hb) {
+					return 0, false
+				}
+			case gb[h]:
+				if !subsetOf(hb, gb) {
+					return 0, false
+				}
+			default:
+				for n := range hb {
+					if gb[n] {
+						return 0, false
+					}
+				}
+			}
+		}
+	}
+	// parent: the innermost (smallest-body) distinct loop containing
+	// the head; -1 for top-level loops.
+	parent := make(map[int]int, len(heads))
+	for _, h := range heads {
+		parent[h] = -1
+		for _, g := range heads {
+			if g == h || !f.loops[g].body[h] {
+				continue
+			}
+			if p := parent[h]; p == -1 || len(f.loops[g].body) < len(f.loops[p].body) {
+				parent[h] = g
+			}
+		}
+	}
+	// Smallest bodies first settles every child before its parent.
+	order := append([]int(nil), heads...)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if len(f.loops[a].body) != len(f.loops[b].body) {
+			return len(f.loops[a].body) < len(f.loops[b].body)
+		}
+		return a < b
+	})
+	inner := map[int]uint64{}   // settled bounds of immediate children
+	childNodes := map[int]int{} // body nodes owned by immediate children
+	var total uint64
+	for _, h := range order {
+		own := uint64(len(f.loops[h].body) - childNodes[h])
+		s := satMul(trips[h], satAdd(own, inner[h]))
+		if p := parent[h]; p != -1 {
+			inner[p] = satAdd(inner[p], s)
+			childNodes[p] += len(f.loops[h].body)
+		} else {
+			total = satAdd(total, s)
+		}
+	}
+	return total, true
+}
+
+func subsetOf(a, b map[int]bool) bool {
+	for n := range a {
+		if !b[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// satAdd and satMul saturate at MaxUint64: a huge proven bound must
+// overshoot the budget check, never wrap back under it.
+func satAdd(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a != 0 && b > math.MaxUint64/a {
+		return math.MaxUint64
+	}
+	return a * b
+}
+
 // ------------------------------------------------- classification
 
 const (
@@ -503,13 +610,27 @@ func (an *analysis) demote(site string, idx int, rng, format string, args ...any
 func (an *analysis) fact(idx int, dst bool, end uint32) {
 	k := factKey{idx, dst}
 	if fs, ok := an.facts[k]; ok {
-		if end > fs.end {
+		if !fs.dead && end > fs.end {
 			fs.end = end
 			an.facts[k] = fs
 		}
 		return
 	}
 	an.facts[k] = factState{end: end}
+}
+
+// factKill permanently blocks the elidable fact at a site. The site
+// can stay proven: some analysis context (an instruction may belong to
+// several analyzed functions) discharged it through a bound that is
+// not in the operand-local displacement domain — stack- or argument-
+// relative, or an unanchored data pointer — so an end bound recorded
+// by another context would not cover every runtime effective address,
+// which the isa.Operand.ProvedEnd contract requires.
+func (an *analysis) factKill(idx int, dst bool) {
+	k := factKey{idx, dst}
+	fs := an.facts[k]
+	fs.dead = true
+	an.facts[k] = fs
 }
 
 // classifyNode classifies every access and control effect of one
@@ -626,8 +747,12 @@ func (an *analysis) checkAccess(idx int, op *isa.Operand, acc memAcc, r *isa.Rel
 		switch {
 		case loB >= 0 && hiB < an.dataSize:
 			an.prove(site)
-			if acc.elig && anchored && regPart.r == rConst {
-				an.fact(idx, acc.dst, uint32(int64(op.Disp)+regPart.hi+acc.size-1))
+			if acc.elig {
+				if anchored && regPart.r == rConst {
+					an.fact(idx, acc.dst, uint32(int64(op.Disp)+regPart.hi+acc.size-1))
+				} else {
+					an.factKill(idx, acc.dst)
+				}
 			}
 		case hiB < 0 || loB >= an.dataSize:
 			an.violationRange(idx, rng, "module data %s out of bounds", verb)
@@ -643,7 +768,13 @@ func (an *analysis) checkAccess(idx int, op *isa.Operand, acc memAcc, r *isa.Rel
 	case rStack:
 		switch an.stackVerdict(full.lo, full.hi, acc.size, acc.perm) {
 		case vOK:
-			an.prove(site) // stack facts stay symbolic: never elidable
+			// Stack facts stay symbolic: never elidable — and any
+			// absolute fact another context recorded for this operand
+			// must die with them.
+			an.prove(site)
+			if acc.elig {
+				an.factKill(idx, acc.dst)
+			}
 		case vOut:
 			an.violationRange(idx, rng, "stack-relative %s outside the extension stack", verb)
 		default:
@@ -653,6 +784,9 @@ func (an *analysis) checkAccess(idx int, op *isa.Operand, acc memAcc, r *isa.Rel
 		a := an.lay.Arg
 		if a.Pointer && acc.perm&^a.Perm == 0 && loB >= 0 && hiB < int64(a.Size) {
 			an.prove(site)
+			if acc.elig {
+				an.factKill(idx, acc.dst)
+			}
 		} else {
 			an.demote(site, idx, rng, "argument-relative %s not provably within the declared argument area", verb)
 		}
@@ -680,7 +814,7 @@ func (an *analysis) fnTotal(e int, seen map[int]int8) (uint64, bool) {
 			ok = false
 			break
 		}
-		total += cs
+		total = satAdd(total, cs)
 	}
 	seen[e] = 0
 	return total, ok
@@ -689,8 +823,8 @@ func (an *analysis) fnTotal(e int, seen map[int]int8) (uint64, bool) {
 // finish settles the census, the termination verdict and the status.
 func (an *analysis) finish(entries []int) {
 	rep := an.rep
-	for k := range an.facts {
-		if an.demoted[fmt.Sprintf("%d|%v", k.idx, k.dst)] {
+	for k, fs := range an.facts {
+		if fs.dead || an.demoted[fmt.Sprintf("%d|%v", k.idx, k.dst)] {
 			delete(an.facts, k)
 		}
 	}

@@ -134,6 +134,15 @@ type Layout struct {
 	// StackAbove is how many bytes at/above the entry stack pointer
 	// the extension may read (return address, argument slot).
 	StackAbove uint32
+	// StackAbs, valid when StackAbsKnown, is the absolute address (in
+	// the Regions' address domain) of the entry stack pointer. Layouts
+	// whose declared regions contain the stack window itself — the
+	// kernel segment's scratch+stack area — must set it so the
+	// analysis can detect absolute stores that alias tracked stack
+	// slots. Layouts whose regions are disjoint from the stack leave
+	// it unset.
+	StackAbs      uint32
+	StackAbsKnown bool
 	// AllowedInts lists the software-interrupt vectors the
 	// environment services (kernel service gate, syscall gate).
 	AllowedInts []uint8

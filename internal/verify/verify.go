@@ -350,10 +350,14 @@ func (an *analysis) readOpVal(op *isa.Operand, imm, disp *isa.Reloc, size uint8,
 }
 
 // writeOp stores a value through an operand, tracking exact stack
-// slots and conservatively wiping them when a store might alias the
-// stack (unknown or imprecise stack-relative addresses). Stores into
-// other regions cannot alias the stack: every declared region is a
-// distinct allocation.
+// slots and conservatively wiping them when the store might alias the
+// stack. Aliasing is possible not only through imprecise stack-
+// relative or unresolved addresses: a declared region may contain the
+// stack itself (the kernel segment's scratch+stack area holds the
+// extension stack), and a region-relative store that is not proven
+// inside its own allocation can land anywhere the runtime checks
+// admit — including the stack window. Only stores proven inside a
+// stack-disjoint allocation keep the tracked cells alive.
 func (an *analysis) writeOp(op *isa.Operand, disp *isa.Reloc, v aval, size uint8, st *state) {
 	switch op.Kind {
 	case isa.KindReg:
@@ -363,13 +367,61 @@ func (an *analysis) writeOp(op *isa.Operand, disp *isa.Reloc, v aval, size uint8
 		st.regs[op.Reg] = v
 	case isa.KindMem:
 		full, _, _ := an.effAddr(op, disp, st)
-		switch {
-		case full.r == rStack && full.lo == full.hi && size != 1:
+		if full.r == rStack && full.lo == full.hi && size != 1 {
 			st.cells[full.lo] = v
-		case full.r == rStack || full.isTop():
+			return
+		}
+		if an.storeMayAliasStack(full, int64(size)) {
 			havocCells(st)
 		}
 	}
+}
+
+// storeMayAliasStack reports whether a store through the abstract
+// address full (accessing size bytes) could alias a tracked stack
+// cell (including the argument slot at entry+4):
+//
+//   - any stack-relative (imprecise) or unresolved store may;
+//   - an absolute store may when its interval can reach the stack
+//     window a declared region contains (Layout.StackAbs), and also
+//     when it is not proven inside a declared writable region at all
+//     — nothing then pins where a runtime-surviving store lands;
+//   - a data- or argument-relative store may unless proven inside its
+//     own allocation: those allocations (module data at the loader's
+//     placement, the staged shared area) are disjoint from the stack,
+//     but a wild offset that survives the runtime segment and page
+//     checks can still reach it.
+func (an *analysis) storeMayAliasStack(full aval, size int64) bool {
+	loB, hiB := full.lo, full.hi+size-1
+	switch full.r {
+	case rConst:
+		if an.lay.StackAbsKnown {
+			sLo := int64(an.lay.StackAbs) - int64(an.lay.StackBelow)
+			sHi := int64(an.lay.StackAbs) + int64(an.lay.StackAbove) - 1
+			if hiB >= sLo && loB <= sHi {
+				return true
+			}
+		}
+		return !an.constWithinRegion(loB, hiB, PermW)
+	case rData:
+		return loB < 0 || hiB >= an.dataSize
+	case rArg:
+		a := an.lay.Arg
+		return !a.Pointer || PermW&^a.Perm != 0 || loB < 0 || hiB >= int64(a.Size)
+	}
+	return true // rStack (imprecise), rText, rTop
+}
+
+// constWithinRegion reports whether the absolute byte range [loB, hiB]
+// lies inside one declared region permitting perm.
+func (an *analysis) constWithinRegion(loB, hiB int64, perm Perm) bool {
+	for i := range an.lay.Regions {
+		rg := &an.lay.Regions[i]
+		if loB >= int64(rg.Lo) && hiB <= int64(rg.Hi) && perm&^rg.Perm == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // ------------------------------------------------- findings

@@ -28,12 +28,16 @@ func userLayout() Layout {
 // vector is provided, and externs resolve to published services.
 func kernelLayout() Layout {
 	return Layout{
-		Backend:      "palladium-kernel",
-		Regions:      []Region{{Name: "scratch+stack", Lo: 0, Hi: 0x5000 - 1, Perm: PermRW}},
-		StackBelow:   0x3FF8,
-		StackAbove:   8,
-		AllowedInts:  []uint8{0x81},
-		AllowExterns: true,
+		Backend:    "palladium-kernel",
+		Regions:    []Region{{Name: "scratch+stack", Lo: 0, Hi: 0x5000 - 1, Perm: PermRW}},
+		StackBelow: 0x3FF8,
+		StackAbove: 8,
+		// The region contains the stack: entry ESP is absolute 0x4FF8
+		// and the stack window spans [0x1000, 0x5000).
+		StackAbs:      0x5000 - 8,
+		StackAbsKnown: true,
+		AllowedInts:   []uint8{0x81},
+		AllowExterns:  true,
 	}
 }
 
@@ -516,6 +520,157 @@ func TestStackDiscipline(t *testing.T) {
 	`, kernelLayout())
 	if rep.Status != Guarded {
 		t.Fatalf("status = %v, want guarded; %v", rep.Status, rep.Violations)
+	}
+}
+
+// TestAbsStoreStackAliasHavoc pins the fix for a soundness hole: the
+// kernel layout's declared scratch+stack region contains the extension
+// stack, so a proven absolute store can alias a tracked stack slot.
+// The verifier must forget the slot's abstract value — otherwise the
+// popped "pointer" below would keep its pushed safe constant, the
+// store through it would be proven with an elidable fact, and tier-2
+// elision would skip the segment-limit check on an address the
+// absolute store replaced at run time.
+func TestAbsStoreStackAliasHavoc(t *testing.T) {
+	// kernelLayout entry ESP is absolute 0x4FF8; after the push the
+	// tracked slot lives at absolute 0x4FF4 (= 20468) — exactly where
+	// the absolute store lands.
+	src := `
+		.global fn
+		.text
+		fn:
+			push 1280
+			mov ecx, [esp+8]
+			mov [20468], ecx
+			pop ebx
+			mov [ebx], ecx
+			ret
+	`
+	rep := mustCheck(t, "alias", src, kernelLayout())
+	if rep.Status != Guarded {
+		t.Fatalf("status = %v, want guarded; violations %v unproven %v",
+			rep.Status, rep.Violations, rep.Unproven)
+	}
+	var demoted bool
+	for _, f := range rep.Unproven {
+		if f.Index == 4 && strings.Contains(f.Reason, "unresolved address") {
+			demoted = true
+		}
+	}
+	if !demoted {
+		t.Errorf("store through the clobbered slot not demoted: %v", rep.Unproven)
+	}
+	// Only the absolute store itself stays elidable; the store through
+	// the popped value must not carry a fact.
+	if rep.Elidable != 1 {
+		t.Errorf("Elidable = %d, want 1", rep.Elidable)
+	}
+
+	// The same program with the absolute store below the stack window
+	// (scratch area at 0x500) cannot alias the slot: the popped
+	// constant survives and everything is proven.
+	clean := `
+		.global fn
+		.text
+		fn:
+			push 1280
+			mov ecx, [esp+8]
+			mov [1280], ecx
+			pop ebx
+			mov [ebx], ecx
+			ret
+	`
+	rep = mustCheck(t, "scratch", clean, kernelLayout())
+	if rep.Status != Clean {
+		t.Fatalf("scratch-store status = %v, want clean; %v %v",
+			rep.Status, rep.Violations, rep.Unproven)
+	}
+	if rep.Elidable != 2 {
+		t.Errorf("scratch-store Elidable = %d, want 2", rep.Elidable)
+	}
+}
+
+// TestNestedLoopBound: an inner counted loop runs in full once per
+// outer iteration, so the proven step bound must multiply the trip
+// counts. A budget sized between the (formerly reported) additive
+// undercount and the true multiplicative bound must reject.
+func TestNestedLoopBound(t *testing.T) {
+	src := `
+		.global fn
+		.text
+		fn:
+			mov edx, 100
+		outer:
+			mov ecx, 50
+		inner:
+			dec ecx
+			jne inner
+			dec edx
+			jne outer
+			ret
+	`
+	rep := mustCheck(t, "nest", src, kernelLayout())
+	if rep.Status != Clean {
+		t.Fatalf("status = %v, want clean; %v %v", rep.Status, rep.Violations, rep.Unproven)
+	}
+	if !rep.Bounded {
+		t.Fatal("nested counted loops must have a proven bound")
+	}
+	// 7 straight-line nodes + 100 outer iterations x (3 own body
+	// nodes + 50 inner iterations x 2 inner body nodes).
+	const want = 7 + 100*(3+50*2)
+	if rep.MaxSteps != want {
+		t.Errorf("MaxSteps = %d, want %d", rep.MaxSteps, want)
+	}
+
+	// The additive undercount was 7 + 100*5 + 50*2 = 607: a budget of
+	// 5000 would have passed it while the true bound is 10307.
+	lay := kernelLayout()
+	lay.Budget = 5000
+	rep = mustCheck(t, "nest", src, lay)
+	if rep.Status != Rejected {
+		t.Fatalf("budget status = %v, want rejected", rep.Status)
+	}
+	if !strings.Contains(rep.Violations[0].Reason, "exceeds the layout budget") {
+		t.Errorf("reason = %q", rep.Violations[0].Reason)
+	}
+}
+
+// TestSharedSiteFactKilled: an instruction shared by two entry points
+// can be proven absolute in one context and stack-relative in the
+// other. The absolute context's elidable fact must die — its end bound
+// says nothing about the stack addresses the other entry produces, so
+// annotating it would break the ProvedEnd contract tier-2 elision
+// relies on.
+func TestSharedSiteFactKilled(t *testing.T) {
+	src := `
+		.global a
+		.global b
+		.text
+		a:
+			mov ebx, 640
+			jmp common
+		b:
+			mov ebx, esp
+			sub ebx, 8
+			jmp common
+		common:
+			mov [ebx], ecx
+			ret
+	`
+	rep := mustCheck(t, "shared", src, kernelLayout())
+	if rep.Status != Clean {
+		t.Fatalf("status = %v, want clean; %v %v", rep.Status, rep.Violations, rep.Unproven)
+	}
+	if rep.Elidable != 0 {
+		t.Errorf("Elidable = %d, want 0 (mixed-domain site must not export a fact)", rep.Elidable)
+	}
+	obj := isa.MustAssemble("shared", src).Clone()
+	rep.Annotate(obj)
+	for i := range obj.Text {
+		if obj.Text[i].Dst.Proved || obj.Text[i].Src.Proved {
+			t.Errorf("text[%d] annotated despite mixed proving domains", i)
+		}
 	}
 }
 

@@ -107,8 +107,13 @@ func kernelVerifyLayout(obj *isa.Object, opts LoadOptions) verify.Layout {
 			Lo:   0, Hi: core.KernelExtStackTop - 1,
 			Perm: verify.PermRW,
 		}},
-		StackBelow:   core.KernelExtStackTop - 8 - core.KernelExtStackBottom,
-		StackAbove:   8,
+		StackBelow: core.KernelExtStackTop - 8 - core.KernelExtStackBottom,
+		StackAbove: 8,
+		// The region above contains the extension stack itself, so the
+		// verifier must treat absolute stores that can reach the stack
+		// window as aliasing its tracked stack slots.
+		StackAbs:      core.KernelExtStackTop - 8,
+		StackAbsKnown: true,
 		Arg:          verifyArgSpec(obj, opts),
 		AllowedInts:  []uint8{kernel.VecKernelSvc},
 		AllowExterns: true,
