@@ -16,6 +16,10 @@
 //	palladium-bench -matrix -backend sfi,bpf   # restrict the matrix's backends
 //	palladium-bench -verify        # static verifier: escape rejects, workload
 //	                               # accepts, tier-2 check elision (BENCH_verify.json)
+//	palladium-bench -serve-load    # HTTP serving-capacity sweep over in-process
+//	                               # palladium-serve daemons (BENCH_serve.json)
+//	palladium-bench -serve-load -serve-workers 1,2,4 -serve-conns 1,8,32 \
+//	                -serve-duration 2s             # custom sweep grid
 //	palladium-bench -table 3 -cpuprofile cpu.prof -memprofile mem.prof
 //	                               # profile any run (std runtime/pprof files;
 //	                               # inspect with `go tool pprof`)
@@ -30,8 +34,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/serve"
 	"repro/sandbox"
 )
 
@@ -52,13 +58,20 @@ func main() {
 	verifyRun := flag.Bool("verify", false, "run the static verifier over escapes and workloads, then the elision benchmark")
 	verifyJSON := flag.String("verify-json", "BENCH_verify.json", "write the -verify report to this JSON file")
 	verifyRuns := flag.Int("verify-runs", 5, "host wall-clock median pool for -verify")
+	serveLoad := flag.Bool("serve-load", false, "sweep HTTP serving capacity (connections x workers) against in-process palladium-serve daemons")
+	serveWorkers := flag.String("serve-workers", "1,2,4", "comma-separated fleet sizes for -serve-load")
+	serveConns := flag.String("serve-conns", "1,4,16", "comma-separated client connection counts for -serve-load")
+	serveDuration := flag.Duration("serve-duration", time.Second, "load duration per -serve-load cell")
+	serveRate := flag.Float64("serve-rate", 0, "open-loop arrival rate in req/s for -serve-load (0 = closed-loop saturation)")
+	serveModel := flag.String("serve-model", "", "execution model for -serve-load requests (default: daemon default)")
+	serveJSON := flag.String("serve-json", "BENCH_serve.json", "write the -serve-load report to this JSON file")
 	requests := flag.Int("requests", 100, "requests per Table 3 cell")
 	calls := flag.Int("calls", 1000, "protected calls for the -interp workload")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun && !*matrixRun && !*verifyRun
+	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun && !*matrixRun && !*verifyRun && !*serveLoad
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "palladium-bench:", err)
 		os.Exit(1)
@@ -205,6 +218,36 @@ func main() {
 				fail(err)
 			}
 			if err := os.WriteFile(*matrixJSON, append(b, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *serveLoad {
+		workerCounts, err := parseWorkers(*serveWorkers)
+		if err != nil {
+			fail(err)
+		}
+		connCounts, err := parseWorkers(*serveConns)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := serve.Sweep(serve.SweepConfig{
+			Model:    *serveModel,
+			Workers:  workerCounts,
+			Conns:    connCounts,
+			Rate:     *serveRate,
+			Duration: *serveDuration,
+		})
+		if err != nil {
+			fail(err)
+		}
+		serve.RenderReport(os.Stdout, rep)
+		if *serveJSON != "" {
+			b, err := json.MarshalIndent(rep, "", " ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*serveJSON, append(b, '\n'), 0o644); err != nil {
 				fail(err)
 			}
 		}

@@ -1,0 +1,100 @@
+// Command palladium-serve is the HTTP front end of the reproduction: a
+// daemon serving the paper's Table 3 workload over a fleet of
+// simulated Palladium machines, with bounded admission control (queue
+// full => HTTP 503 + Retry-After), queue-depth-driven autoscaling via
+// clone-boot, and latency observability.
+//
+// Usage:
+//
+//	palladium-serve -addr 127.0.0.1:8080
+//	curl 'http://127.0.0.1:8080/serve?model=libcgi-prot'
+//	curl http://127.0.0.1:8080/metrics
+//
+// Endpoints:
+//
+//	/serve?model=M  serve one request under model M (static, cgi,
+//	                fastcgi, libcgi, libcgi-prot; default -model)
+//	/healthz        liveness
+//	/metrics        Prometheus-style counters + latency quantiles
+//	/debug/pprof/   net/http/pprof
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting, finishes every admitted request, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+	fileSize := flag.Uint("file-size", 28, "served file size in bytes (Table 3 row)")
+	workers := flag.Int("workers", 1, "initial fleet size")
+	maxWorkers := flag.Int("max-workers", 0, "autoscaling cap (<= -workers disables autoscaling)")
+	queue := flag.Int("queue", 0, "admission bound on in-flight requests (default 4*max workers)")
+	scaleInterval := flag.Duration("scale-interval", 10*time.Millisecond, "autoscaler sampling period")
+	scaleDepth := flag.Float64("scale-depth", 2, "scale up while queue depth exceeds this per worker")
+	model := flag.String("model", "libcgi-prot", "default execution model when ?model= is absent")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "palladium-serve:", err)
+		os.Exit(1)
+	}
+
+	s, err := serve.New(serve.Config{
+		Addr:          *addr,
+		FileSize:      uint32(*fileSize),
+		Workers:       *workers,
+		MaxWorkers:    *maxWorkers,
+		Queue:         *queue,
+		ScaleInterval: *scaleInterval,
+		ScaleUpDepth:  *scaleDepth,
+		DefaultModel:  *model,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := s.Start(); err != nil {
+		fail(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("palladium-serve: listening on %s (%d workers, max %d, queue %d, default model %s)\n",
+		s.Addr(), s.Workers(), maxWorkersEffective(*workers, *maxWorkers), s.Pool().Bound(), *model)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("palladium-serve: shutting down (draining admitted requests)")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		fail(err)
+	}
+	c := s.CountersSnapshot()
+	fmt.Printf("palladium-serve: done: admitted=%d completed=%d failed=%d rejected=%d scaleups=%d\n",
+		c.Admitted, c.Completed, c.Failed, c.Rejected, c.ScaleUps)
+	if c.Admitted != c.Completed+c.Failed {
+		fail(fmt.Errorf("dropped %d admitted requests", c.Admitted-c.Completed-c.Failed))
+	}
+}
+
+func maxWorkersEffective(workers, maxWorkers int) int {
+	if maxWorkers < workers {
+		return workers
+	}
+	return maxWorkers
+}

@@ -142,8 +142,14 @@ func MeasureFleet(size uint32, requests int, workerCounts []int) (FleetReport, e
 			}
 			*dst[m] = res.AggregateReqPerSec
 			pt.WallSeconds += res.WallSeconds
-			pt.QueueHighWater = res.QueueHighWater
-			pt.Steals = res.Steals
+			// Serve reports per-run deltas, so the point's dispatcher
+			// picture is the max high water / summed steals over its
+			// five model runs — not pool-lifetime counters that would
+			// leak one point's churn into the next.
+			if res.QueueHighWater > pt.QueueHighWater {
+				pt.QueueHighWater = res.QueueHighWater
+			}
+			pt.Steals += res.Steals
 		}
 		if err := f.Close(); err != nil {
 			return rep, err

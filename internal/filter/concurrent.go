@@ -42,7 +42,8 @@ type FleetResult struct {
 	PerWorkerPackets []uint64
 	// WallSeconds is the host wall-clock time for the run.
 	WallSeconds float64
-	Steals      uint64
+	// Steals counts work-stealing dispatches during THIS run only.
+	Steals uint64
 }
 
 // NewFleet boots `workers` machines, each with its own compiled filter
@@ -72,18 +73,15 @@ func NewFleet(workers int, terms []bpf.Term) (*Fleet, error) {
 // match count plus the aggregate simulated filtering rate. Packets are
 // read-only and may be shared between workers.
 func (f *Fleet) MatchAll(pkts [][]byte) (FleetResult, error) {
-	before := f.Pool.Stats()
-	clock0 := make([]float64, f.Pool.Workers())
-	for w := range clock0 {
-		clock0[w] = f.Pool.Machine(w).SimCycles()
-	}
+	run := f.Pool.BeginRun()
+	workers := f.Pool.Workers()
 	start := time.Now()
 	var matched atomic.Int64
 	for i, pkt := range pkts {
 		pkt := pkt
 		// Pinned round-robin placement, as in webserver.Fleet.Serve:
 		// simulated placement must not depend on host scheduling.
-		err := f.Pool.SubmitTo(i%f.Pool.Workers(), func(_ int, w *fleetFilter) error {
+		err := f.Pool.SubmitTo(i%workers, func(_ int, w *fleetFilter) error {
 			ok, err := w.fil.Match(pkt)
 			if err != nil {
 				return err
@@ -98,19 +96,19 @@ func (f *Fleet) MatchAll(pkts [][]byte) (FleetResult, error) {
 		}
 	}
 	f.Pool.Drain()
-	after := f.Pool.Stats()
+	rs := run.Stats()
 
 	res := FleetResult{
-		Workers:          f.Pool.Workers(),
+		Workers:          len(rs.Workers),
 		Packets:          len(pkts),
 		Matched:          int(matched.Load()),
-		PerWorkerPackets: make([]uint64, f.Pool.Workers()),
+		PerWorkerPackets: make([]uint64, len(rs.Workers)),
 		WallSeconds:      time.Since(start).Seconds(),
-		Steals:           after.Steals,
+		Steals:           rs.Steals,
 	}
-	for w := range after.Workers {
-		n := after.Workers[w].Requests - before.Workers[w].Requests
-		cyc := f.Pool.Machine(w).SimCycles() - clock0[w]
+	for w := range rs.Workers {
+		n := rs.Workers[w].Requests
+		cyc := rs.Workers[w].SpanCycles
 		res.PerWorkerPackets[w] = n
 		if n == 0 || cyc == 0 {
 			continue
@@ -118,8 +116,8 @@ func (f *Fleet) MatchAll(pkts [][]byte) (FleetResult, error) {
 		hz := f.Pool.Machine(w).s.K.Clock.MHz() * 1e6
 		res.AggregatePktPerSec += float64(n) / (cyc / hz)
 	}
-	if errs := after.Errors - before.Errors; errs != 0 {
-		return res, fmt.Errorf("filter: %d fleet packets failed", errs)
+	if rs.Errors != 0 {
+		return res, fmt.Errorf("filter: %d fleet packets failed", rs.Errors)
 	}
 	return res, nil
 }

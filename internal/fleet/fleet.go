@@ -15,6 +15,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,8 +35,15 @@ type Machine interface {
 // (which, under stealing, may differ from the submission target).
 type Request[M Machine] func(worker int, m M) error
 
-// ErrClosed reports a Submit after Close.
+// ErrClosed reports a Submit after Close. A Submit blocked on a full
+// queue when Close arrives is woken and returns ErrClosed too, rather
+// than being stranded against a queue no worker will ever drain.
 var ErrClosed = errors.New("fleet: pool is closed")
+
+// ErrBackpressure reports a TrySubmit refused because the submission
+// bound is reached. The serving tier maps it to a typed
+// sandbox.Fault{Class: Backpressure} and HTTP 503.
+var ErrBackpressure = errors.New("fleet: submission queue full")
 
 // Config sizes a pool.
 type Config struct {
@@ -65,8 +73,18 @@ type WorkerStats struct {
 	BootCycles float64
 	// Busy is the wall-clock time spent executing requests.
 	Busy time.Duration
-	// QueueHighWater is the deepest this worker's run queue ever got.
+	// QueueHighWater is the deepest this worker's run queue got: since
+	// boot in Pool.Stats snapshots, since BeginRun in Run.Stats ones.
 	QueueHighWater int
+	// SpanCycles and SpanSeconds are per-run serving spans, populated
+	// only by Run.Stats: the machine's simulated clock span and the
+	// host wall-clock span from just before this worker's first served
+	// request of the run to just after its last. Workers that join the
+	// pool mid-run (autoscaling) get a correct local span rather than
+	// inheriting the run's global start. Zero in cumulative Pool.Stats
+	// snapshots and for workers that served nothing this run.
+	SpanCycles  float64
+	SpanSeconds float64
 }
 
 // Stats is a snapshot of the whole pool.
@@ -179,8 +197,23 @@ type Pool[M Machine] struct {
 
 	machines []M
 	stats    []WorkerStats
+	epoch    uint64     // bumped by BeginRun; scopes the run tracking
+	runs     []runTrack // per-worker tracking for the current run
 	firstErr error
 	wg       sync.WaitGroup
+}
+
+// runTrack is the pool's per-worker bookkeeping for the current
+// measurement run (see BeginRun): how many requests the worker served
+// this run, the simulated-clock and wall-clock readings bracketing its
+// first and last served request, and the run-local queue high water.
+type runTrack struct {
+	served    uint64
+	spanStart float64 // machine clock just before the first request
+	spanEnd   float64 // machine clock just after the latest request
+	firstWall time.Time
+	lastWall  time.Time
+	highWater int
 }
 
 // New boots cfg.Workers machines (sequentially, so boot-time frame and
@@ -198,6 +231,7 @@ func New[M Machine](cfg Config, boot func(worker int) (M, error)) (*Pool[M], err
 		bound:    cfg.Queue,
 		machines: make([]M, cfg.Workers),
 		stats:    make([]WorkerStats, cfg.Workers),
+		runs:     make([]runTrack, cfg.Workers),
 	}
 	for w := range p.queues {
 		// Pre-size to the submission bound: no queue can hold more
@@ -217,9 +251,32 @@ func New[M Machine](cfg Config, boot func(worker int) (M, error)) (*Pool[M], err
 	}
 	p.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		go p.run(w)
+		go p.run(w, p.machines[w])
 	}
 	return p, nil
+}
+
+// AddMachine grows a live pool by one worker owning machine m and
+// returns the new worker's index. The serving tier's autoscaler uses
+// it with a clone of a pristine template machine, so a scaled-up
+// worker's simulated state is bit-identical to a boot-time worker's.
+// Existing queues, in-flight requests and statistics are untouched;
+// balanced submissions start landing on the new worker immediately.
+func (p *Pool[M]) AddMachine(m M) (int, error) {
+	p.mu.Lock()
+	if p.closing {
+		p.mu.Unlock()
+		return 0, ErrClosed
+	}
+	w := len(p.machines)
+	p.machines = append(p.machines, m)
+	p.stats = append(p.stats, WorkerStats{Worker: w, BootCycles: m.SimCycles()})
+	p.queues = append(p.queues, ring[M]{buf: make([]item[M], p.bound)})
+	p.runs = append(p.runs, runTrack{})
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go p.run(w, m)
+	return w, nil
 }
 
 // NewFromTemplate boots ONE template machine and derives the other
@@ -243,18 +300,53 @@ func NewFromTemplate[M Machine](cfg Config, bootTemplate func() (M, error), clon
 	})
 }
 
-// Workers returns the pool size.
-func (p *Pool[M]) Workers() int { return len(p.machines) }
+// Workers returns the pool size. Under autoscaling the size can grow
+// between calls (never shrink).
+func (p *Pool[M]) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.machines)
+}
+
+// Inflight reports the number of accepted (queued or running)
+// requests; the serving tier's autoscaler samples it as queue depth.
+func (p *Pool[M]) Inflight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inflight
+}
+
+// Bound reports the submission bound.
+func (p *Pool[M]) Bound() int { return p.bound }
 
 // Submit hands a request to the dispatcher, blocking while the
 // submission bound is reached. Requests are placed round-robin on the
 // worker run queues; idle workers steal from the longest queue.
 func (p *Pool[M]) Submit(req Request[M]) error {
+	return p.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit with cancellation: a submitter blocked on a full
+// queue returns ctx.Err() once ctx is done (and ErrClosed if the pool
+// closes first). An accepted request is never revoked by a later
+// cancellation of ctx.
+func (p *Pool[M]) SubmitCtx(ctx context.Context, req Request[M]) error {
 	p.mu.Lock()
 	w := p.next % len(p.queues)
 	p.next++
 	p.mu.Unlock()
-	return p.submit(w, item[M]{req: req})
+	return p.submit(ctx, w, item[M]{req: req})
+}
+
+// TrySubmit is the non-blocking Submit used for admission control: a
+// full queue refuses immediately with ErrBackpressure instead of
+// queueing the caller behind capacity the pool does not have.
+func (p *Pool[M]) TrySubmit(req Request[M]) error {
+	p.mu.Lock()
+	w := p.next % len(p.queues)
+	p.next++
+	p.mu.Unlock()
+	return p.trySubmit(w, item[M]{req: req})
 }
 
 // SubmitTo places a request on worker w's queue pinned to its machine:
@@ -263,30 +355,72 @@ func (p *Pool[M]) Submit(req Request[M]) error {
 // measurements use this; wall-clock workloads use Submit and let idle
 // workers steal.
 func (p *Pool[M]) SubmitTo(w int, req Request[M]) error {
-	if w < 0 || w >= len(p.queues) {
+	if w < 0 || w >= p.Workers() {
 		return fmt.Errorf("fleet: no worker %d", w)
 	}
-	return p.submit(w, item[M]{req: req, pinned: true})
+	return p.submit(context.Background(), w, item[M]{req: req, pinned: true})
 }
 
-func (p *Pool[M]) submit(w int, it item[M]) error {
+// TrySubmitTo is the non-blocking SubmitTo: pinned placement with
+// ErrBackpressure instead of blocking at the bound.
+func (p *Pool[M]) TrySubmitTo(w int, req Request[M]) error {
+	if w < 0 || w >= p.Workers() {
+		return fmt.Errorf("fleet: no worker %d", w)
+	}
+	return p.trySubmit(w, item[M]{req: req, pinned: true})
+}
+
+func (p *Pool[M]) submit(ctx context.Context, w int, it item[M]) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for p.inflight >= p.bound && !p.closing {
+	if ctx.Done() != nil {
+		// Wake the cond loop when the context fires; Wait cannot
+		// select on a channel, so the watcher broadcasts instead.
+		stop := context.AfterFunc(ctx, func() {
+			p.mu.Lock()
+			p.space.Broadcast()
+			p.mu.Unlock()
+		})
+		defer stop()
+	}
+	for p.inflight >= p.bound && !p.closing && ctx.Err() == nil {
 		p.space.Wait()
 	}
 	if p.closing {
 		return ErrClosed
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.enqueueLocked(w, it)
+	return nil
+}
+
+func (p *Pool[M]) trySubmit(w int, it item[M]) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closing {
+		return ErrClosed
+	}
+	if p.inflight >= p.bound {
+		return ErrBackpressure
+	}
+	p.enqueueLocked(w, it)
+	return nil
+}
+
+func (p *Pool[M]) enqueueLocked(w int, it item[M]) {
 	p.queues[w].push(it)
 	p.inflight++
 	if n := p.queues[w].len(); n > p.stats[w].QueueHighWater {
 		p.stats[w].QueueHighWater = n
 	}
+	if n := p.queues[w].len(); n > p.runs[w].highWater {
+		p.runs[w].highWater = n
+	}
 	// Broadcast, not Signal: a pinned item must wake its owner, and
 	// Signal could wake only a worker that cannot take it.
 	p.work.Broadcast()
-	return nil
 }
 
 // take returns the next request for worker w: its own queue first
@@ -326,10 +460,11 @@ func (p *Pool[M]) take(w int) (Request[M], bool) {
 	}
 }
 
-// run is the worker loop: it exclusively owns machine w.
-func (p *Pool[M]) run(w int) {
+// run is the worker loop: it exclusively owns machine m (worker w).
+// The machine is passed in rather than re-read from p.machines so the
+// loop never touches the slice header AddMachine may be growing.
+func (p *Pool[M]) run(w int, m M) {
 	defer p.wg.Done()
-	m := p.machines[w]
 	for {
 		req, ok := p.take(w)
 		if !ok {
@@ -338,14 +473,20 @@ func (p *Pool[M]) run(w int) {
 		start := time.Now()
 		before := m.SimCycles()
 		err := req(w, m)
-		busy := time.Since(start)
-		cyc := m.SimCycles() - before
+		end := time.Now()
+		after := m.SimCycles()
 
 		p.mu.Lock()
 		st := &p.stats[w]
 		st.Requests++
-		st.Busy += busy
-		st.SimCycles += cyc
+		st.Busy += end.Sub(start)
+		st.SimCycles += after - before
+		rt := &p.runs[w]
+		if rt.served == 0 {
+			rt.spanStart, rt.firstWall = before, start
+		}
+		rt.spanEnd, rt.lastWall = after, end
+		rt.served++
 		if err != nil {
 			st.Errors++
 			if p.firstErr == nil {
@@ -371,7 +512,10 @@ func (p *Pool[M]) Drain() {
 	}
 }
 
-// Stats snapshots per-worker and aggregate counters.
+// Stats snapshots per-worker and aggregate counters. All counters are
+// totals since boot; measurement code that needs per-run values uses
+// BeginRun/Run.Stats instead of diffing two cumulative snapshots
+// (which cannot recover a per-run queue high water or serving span).
 func (p *Pool[M]) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -384,15 +528,83 @@ func (p *Pool[M]) statsLocked() Stats {
 	return s
 }
 
+// Run scopes one measurement run: Stats reports deltas since the
+// BeginRun that created it, not pool-lifetime totals.
+type Run[M Machine] struct {
+	p     *Pool[M]
+	epoch uint64
+	base  []WorkerStats
+}
+
+// BeginRun starts a new measurement run: it snapshots the cumulative
+// counters and resets the pool's per-run tracking (queue high water,
+// per-worker serving spans). Only one run is tracked at a time — a
+// later BeginRun ends span/high-water tracking for earlier handles —
+// and runs are expected to begin while the pool is quiescent (after
+// Drain), as the measurement harnesses do.
+func (p *Pool[M]) BeginRun() *Run[M] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.epoch++
+	for w := range p.runs {
+		// Anything already queued counts toward this run's high water.
+		p.runs[w] = runTrack{highWater: p.queues[w].len()}
+	}
+	return &Run[M]{p: p, epoch: p.epoch, base: append([]WorkerStats(nil), p.stats...)}
+}
+
+// Stats reports per-run deltas: requests, errors, steals, simulated
+// cycles and busy time since BeginRun, the run's queue high water, and
+// each worker's serving span from just before its first served request
+// to just after its last (SpanCycles/SpanSeconds). Workers added after
+// BeginRun (autoscaling) report their full counters, since their base
+// is zero. If a newer BeginRun has superseded this run, the counter
+// deltas remain correct but spans and high-water marks are zeroed
+// rather than silently reporting the newer run's tracking.
+func (r *Run[M]) Stats() Stats {
+	p := r.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{Workers: make([]WorkerStats, len(p.stats))}
+	for w := range p.stats {
+		ws := p.stats[w]
+		if w < len(r.base) {
+			b := r.base[w]
+			ws.Requests -= b.Requests
+			ws.Errors -= b.Errors
+			ws.Steals -= b.Steals
+			ws.SimCycles -= b.SimCycles
+			ws.Busy -= b.Busy
+		}
+		ws.QueueHighWater = 0
+		if r.epoch == p.epoch {
+			rt := p.runs[w]
+			ws.QueueHighWater = rt.highWater
+			if rt.served > 0 {
+				ws.SpanCycles = rt.spanEnd - rt.spanStart
+				ws.SpanSeconds = rt.lastWall.Sub(rt.firstWall).Seconds()
+			}
+		}
+		s.Workers[w] = ws
+	}
+	s.aggregate()
+	return s
+}
+
 // Machine returns worker w's machine. It is only safe to touch the
 // machine while no requests are in flight (after Drain or Close); the
 // caller is reaching into a worker's private state.
-func (p *Pool[M]) Machine(w int) M { return p.machines[w] }
+func (p *Pool[M]) Machine(w int) M {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.machines[w]
+}
 
 // Close executes every already-accepted request, stops the workers,
 // and returns the final statistics plus the first request error
 // observed (if any). Submissions racing with Close either complete or
-// return ErrClosed; accepted ones are never dropped.
+// return ErrClosed; accepted ones are never dropped, and submitters
+// blocked on a full queue are woken with ErrClosed.
 func (p *Pool[M]) Close() (Stats, error) {
 	p.mu.Lock()
 	if !p.closing {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -326,5 +327,333 @@ func TestBoundedQueueBlocksSubmit(t *testing.T) {
 	}
 	if stats.QueueHighWater > 4 {
 		t.Errorf("queue high water %d exceeds bound 4", stats.QueueHighWater)
+	}
+}
+
+// TestTrySubmitBackpressure checks the non-blocking admission path:
+// with all workers blocked and the bound reached, TrySubmit refuses
+// with ErrBackpressure instead of queueing the caller, and accepts
+// again once capacity frees up.
+func TestTrySubmitBackpressure(t *testing.T) {
+	p := newFakePool(t, 2, 2)
+	release := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		if err := p.SubmitTo(w, func(int, *fakeMachine) error {
+			<-release
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bound (2) reached: both non-blocking paths must refuse, typed.
+	if err := p.TrySubmit(func(int, *fakeMachine) error { return nil }); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("TrySubmit at the bound = %v, want ErrBackpressure", err)
+	}
+	if err := p.TrySubmitTo(0, func(int, *fakeMachine) error { return nil }); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("TrySubmitTo at the bound = %v, want ErrBackpressure", err)
+	}
+	if err := p.TrySubmitTo(99, func(int, *fakeMachine) error { return nil }); err == nil {
+		t.Fatal("TrySubmitTo(99) on a 2-worker pool must fail")
+	}
+	close(release)
+	p.Drain()
+	var ran atomic.Bool
+	if err := p.TrySubmit(func(int, *fakeMachine) error { ran.Store(true); return nil }); err != nil {
+		t.Fatalf("TrySubmit with capacity free = %v", err)
+	}
+	p.Drain()
+	if !ran.Load() {
+		t.Error("accepted TrySubmit request never ran")
+	}
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrySubmit(func(int, *fakeMachine) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("TrySubmit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSubmitCtxCancelUnblocks checks that a SubmitCtx blocked on a
+// full queue returns the context error when cancelled, and that a
+// context cancelled after acceptance does not revoke the request.
+func TestSubmitCtxCancelUnblocks(t *testing.T) {
+	p := newFakePool(t, 1, 1)
+	release := make(chan struct{})
+	if err := p.SubmitTo(0, func(int, *fakeMachine) error {
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.SubmitCtx(ctx, func(int, *fakeMachine) error { return nil })
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("SubmitCtx returned %v before cancel despite full queue", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled SubmitCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SubmitCtx still blocked 5s after cancel")
+	}
+	// Acceptance is final: cancelling after Submit returns must not
+	// drop the request.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	go func() { time.Sleep(20 * time.Millisecond); close(release) }()
+	if err := p.SubmitCtx(ctx2, func(int, *fakeMachine) error { ran.Store(true); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Error("accepted request dropped after its context was cancelled")
+	}
+}
+
+// TestCloseWakesBlockedSubmitters checks the shutdown-vs-full-queue
+// deadlock fix: submitters blocked at the bound are woken by Close and
+// return ErrClosed rather than being stranded.
+func TestCloseWakesBlockedSubmitters(t *testing.T) {
+	p := newFakePool(t, 1, 1)
+	release := make(chan struct{})
+	if err := p.SubmitTo(0, func(int, *fakeMachine) error {
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const blocked = 4
+	errs := make(chan error, blocked)
+	for i := 0; i < blocked; i++ {
+		go func() {
+			errs <- p.Submit(func(int, *fakeMachine) error { return nil })
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the submitters block at the bound
+	done := make(chan struct{})
+	go func() {
+		close(release)
+		p.Close()
+		close(done)
+	}()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < blocked; i++ {
+		select {
+		case err := <-errs:
+			// Either outcome is legal for a submission racing Close —
+			// accepted (nil, and then executed) or refused — but never
+			// a hang.
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("blocked Submit woken with %v, want nil or ErrClosed", err)
+			}
+		case <-deadline:
+			t.Fatal("Submit still blocked 5s after Close")
+		}
+	}
+	<-done
+}
+
+// TestSubmitRacingCloseNeverDropsAccepted hammers Submit/TrySubmit/
+// SubmitCtx from many goroutines racing Close: every submission that
+// returned nil must execute exactly once, and nothing may panic. Run
+// under -race this is also the drain/shutdown memory-safety proof.
+func TestSubmitRacingCloseNeverDropsAccepted(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := newFakePool(t, 4, 8)
+		var accepted, executed atomic.Uint64
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					req := func(int, *fakeMachine) error {
+						executed.Add(1)
+						return nil
+					}
+					var err error
+					switch i % 3 {
+					case 0:
+						err = p.Submit(req)
+					case 1:
+						err = p.TrySubmit(req)
+					default:
+						err = p.SubmitCtx(context.Background(), req)
+					}
+					if err == nil {
+						accepted.Add(1)
+					} else if errors.Is(err, ErrClosed) {
+						return
+					}
+				}
+			}(g)
+		}
+		time.Sleep(time.Millisecond)
+		if _, err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if accepted.Load() != executed.Load() {
+			t.Fatalf("round %d: accepted %d but executed %d", round, accepted.Load(), executed.Load())
+		}
+	}
+}
+
+// TestRunStatsPerRunDeltas checks that BeginRun isolates back-to-back
+// measurement runs: steals, queue high water, request counts and
+// serving spans of one run do not contaminate the next.
+func TestRunStatsPerRunDeltas(t *testing.T) {
+	p := newFakePool(t, 2, 16)
+
+	run1 := p.BeginRun()
+	for i := 0; i < 10; i++ {
+		if err := p.SubmitTo(i%2, func(_ int, m *fakeMachine) error {
+			m.cycles += 5
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	s1 := run1.Stats()
+	if s1.Requests != 10 {
+		t.Errorf("run 1 requests = %d, want 10", s1.Requests)
+	}
+	if s1.QueueHighWater == 0 {
+		t.Error("run 1 high water = 0, want > 0")
+	}
+	for w, ws := range s1.Workers {
+		if ws.Requests != 5 {
+			t.Errorf("run 1 worker %d requests = %d, want 5", w, ws.Requests)
+		}
+		if ws.SpanCycles != 25 {
+			t.Errorf("run 1 worker %d span = %v cycles, want 25", w, ws.SpanCycles)
+		}
+		if ws.SpanSeconds < 0 {
+			t.Errorf("run 1 worker %d wall span = %v", w, ws.SpanSeconds)
+		}
+	}
+
+	// A second, smaller run on the same pool: its stats must stand
+	// alone (the old cumulative counters would report 12 requests and
+	// run 1's high water).
+	run2 := p.BeginRun()
+	for i := 0; i < 2; i++ {
+		if err := p.SubmitTo(0, func(_ int, m *fakeMachine) error {
+			m.cycles += 3
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		p.Drain()
+	}
+	s2 := run2.Stats()
+	if s2.Requests != 2 {
+		t.Errorf("run 2 requests = %d, want 2", s2.Requests)
+	}
+	if s2.Workers[0].SpanCycles != 6 {
+		t.Errorf("run 2 worker 0 span = %v cycles, want 6 (first-to-last of THIS run)", s2.Workers[0].SpanCycles)
+	}
+	if s2.Workers[1].Requests != 0 || s2.Workers[1].SpanCycles != 0 {
+		t.Errorf("run 2 worker 1 = %+v, want untouched", s2.Workers[1])
+	}
+	if s2.QueueHighWater > 1 {
+		t.Errorf("run 2 high water = %d, want <= 1 (drained between submissions)", s2.QueueHighWater)
+	}
+	// Draining between the two submissions means at most one request
+	// was ever queued, while run 1 queued 5 per worker.
+	if s1.QueueHighWater <= s2.QueueHighWater {
+		t.Errorf("run 1 high water (%d) should exceed run 2's (%d)", s1.QueueHighWater, s2.QueueHighWater)
+	}
+
+	// The superseded run 1 handle still reports correct counter deltas
+	// but no longer claims the live span tracking.
+	s1again := run1.Stats()
+	if s1again.Requests != 12 {
+		t.Errorf("superseded run 1 requests = %d, want 12 (deltas keep accumulating)", s1again.Requests)
+	}
+	if s1again.Workers[0].SpanCycles != 0 || s1again.QueueHighWater != 0 {
+		t.Errorf("superseded run must zero span/high-water, got %+v", s1again.Workers[0])
+	}
+
+	// Cumulative Pool.Stats never reports spans.
+	if ws := p.Stats().Workers[0]; ws.SpanCycles != 0 || ws.SpanSeconds != 0 {
+		t.Errorf("cumulative stats carry spans: %+v", ws)
+	}
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddMachineGrowsLivePool checks autoscale's primitive: a machine
+// added to a serving pool starts taking balanced work, reports its own
+// stats, and a run begun before the growth attributes the new worker's
+// full counters to the run.
+func TestAddMachineGrowsLivePool(t *testing.T) {
+	p := newFakePool(t, 1, 64)
+	run := p.BeginRun()
+	for i := 0; i < 20; i++ {
+		if err := p.Submit(func(_ int, m *fakeMachine) error {
+			m.cycles++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	w, err := p.AddMachine(&fakeMachine{id: 1, cycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 || p.Workers() != 2 {
+		t.Fatalf("AddMachine index %d, workers %d; want 1, 2", w, p.Workers())
+	}
+	for i := 0; i < 20; i++ {
+		if err := p.SubmitTo(1, func(_ int, m *fakeMachine) error {
+			if m.id != 1 {
+				return fmt.Errorf("pinned request ran on machine %d", m.id)
+			}
+			m.cycles += 2
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	s := run.Stats()
+	if s.Requests != 40 {
+		t.Errorf("run requests = %d, want 40", s.Requests)
+	}
+	if s.Workers[1].Requests != 20 {
+		t.Errorf("scaled-up worker served %d, want 20", s.Workers[1].Requests)
+	}
+	// The late worker's span covers its own first-to-last request
+	// (100 -> 140), not the run's global start.
+	if s.Workers[1].SpanCycles != 40 {
+		t.Errorf("scaled-up worker span = %v, want 40", s.Workers[1].SpanCycles)
+	}
+	if got := p.Stats().Workers[1].BootCycles; got != 100 {
+		t.Errorf("scaled-up worker boot cycles = %v, want 100", got)
+	}
+	stats, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 40 {
+		t.Errorf("total requests = %d, want 40", stats.Requests)
+	}
+	if _, err := p.AddMachine(&fakeMachine{id: 2}); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddMachine after Close = %v, want ErrClosed", err)
 	}
 }

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistExactLowValues checks that values below 64 are recorded and
+// reported exactly.
+func TestHistExactLowValues(t *testing.T) {
+	h := &Hist{}
+	for v := uint64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 63 {
+		t.Errorf("p100 = %d, want 63", got)
+	}
+	if got := h.Quantile(0.5); got != 31 && got != 32 {
+		t.Errorf("p50 = %d, want 31 or 32", got)
+	}
+	if h.Count() != 64 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+// TestHistQuantileError checks the log-linear bucketing's relative
+// error bound (~3%) against exact order statistics on random data.
+func TestHistQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := &Hist{}
+	var vals []uint64
+	for i := 0; i < 50000; i++ {
+		// Log-uniform over [1, ~1e9]: exercises many bucket scales.
+		v := uint64(1 + rng.Float64()*float64(uint64(1)<<uint(1+rng.Intn(30))))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q)
+		if got > exact {
+			t.Errorf("q=%v: estimate %d above exact %d (must be a lower bound)", q, got, exact)
+		}
+		if float64(got) < float64(exact)*0.96-1 {
+			t.Errorf("q=%v: estimate %d more than ~4%% below exact %d", q, got, exact)
+		}
+	}
+	if h.Max() != vals[len(vals)-1] {
+		t.Errorf("max = %d, want %d", h.Max(), vals[len(vals)-1])
+	}
+}
+
+// TestHistBucketRoundTrip checks bucketLow(bucketOf(v)) <= v for
+// representative values across the range, and that bucket edges map to
+// themselves.
+func TestHistBucketRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		i := bucketOf(v)
+		low := bucketLow(i)
+		if low > v {
+			t.Errorf("bucketLow(bucketOf(%d)) = %d > value", v, low)
+		}
+		if bucketOf(low) != i {
+			t.Errorf("edge %d maps to bucket %d, want %d", low, bucketOf(low), i)
+		}
+	}
+}
+
+// TestHistEmpty checks zero-value behaviour.
+func TestHistEmpty(t *testing.T) {
+	h := &Hist{}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}

@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// LoadConfig drives one load-generation cell against a running
+// daemon.
+type LoadConfig struct {
+	// URL is the daemon base URL (e.g. "http://127.0.0.1:8080").
+	URL string
+	// Model is the ?model= value ("" uses the daemon default).
+	Model string
+	// Conns is the number of concurrent client connections (and, in
+	// open-loop mode, the cap on outstanding requests).
+	Conns int
+	// Rate is the open-loop arrival rate in requests/second; 0 runs
+	// closed-loop (each connection issues back-to-back requests),
+	// which is how the sweep finds the capacity ceiling.
+	Rate float64
+	// Duration is how long to generate load.
+	Duration time.Duration
+}
+
+// LoadResult is one cell of the sweep.
+type LoadResult struct {
+	Workers int     `json:"workers"`
+	Conns   int     `json:"conns"`
+	Rate    float64 `json:"open_loop_rate,omitempty"`
+
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	// Rejected counts HTTP 503 admission refusals (typed
+	// backpressure), Errors transport/5xx failures, Shed open-loop
+	// arrivals dropped client-side because all Conns slots were
+	// outstanding.
+	Rejected uint64 `json:"rejected_503"`
+	Errors   uint64 `json:"errors"`
+	Shed     uint64 `json:"shed_arrivals,omitempty"`
+
+	WallSeconds       float64 `json:"wall_seconds"`
+	AchievedReqPerSec float64 `json:"achieved_req_per_s"`
+
+	// Latency quantiles in microseconds: wall is client-observed
+	// request latency, sim is the simulated service time reported by
+	// the daemon per request.
+	WallP50  uint64 `json:"wall_p50_us"`
+	WallP99  uint64 `json:"wall_p99_us"`
+	WallP999 uint64 `json:"wall_p999_us"`
+	SimP50   uint64 `json:"sim_p50_us"`
+	SimP99   uint64 `json:"sim_p99_us"`
+	SimP999  uint64 `json:"sim_p999_us"`
+}
+
+// RunLoad generates load per cfg and aggregates client-side results.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	url := cfg.URL + "/serve"
+	if cfg.Model != "" {
+		url += "?model=" + cfg.Model
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Conns,
+		MaxIdleConnsPerHost: cfg.Conns,
+	}}
+	defer client.CloseIdleConnections()
+
+	res := LoadResult{Conns: cfg.Conns, Rate: cfg.Rate}
+	wall, sim := &Hist{}, &Hist{}
+
+	type tally struct{ requests, ok, rejected, errors uint64 }
+	tallies := make(chan tally, cfg.Conns)
+
+	shoot := func() (code int, simMicros float64, err error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, 0, err
+		}
+		simMicros, _ = strconv.ParseFloat(resp.Header.Get("X-Sim-Micros"), 64)
+		return resp.StatusCode, simMicros, nil
+	}
+	record := func(t *tally, code int, simMicros float64, wallStart time.Time, err error) {
+		t.requests++
+		switch {
+		case err != nil:
+			t.errors++
+		case code == http.StatusOK:
+			t.ok++
+			wall.Record(uint64(time.Since(wallStart).Microseconds()))
+			sim.Record(uint64(simMicros))
+		case code == http.StatusServiceUnavailable:
+			t.rejected++
+		default:
+			t.errors++
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	if cfg.Rate <= 0 {
+		// Closed loop: Conns connections issuing back-to-back
+		// requests — the saturation probe the capacity sweep uses.
+		for c := 0; c < cfg.Conns; c++ {
+			go func() {
+				var t tally
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					code, simMicros, err := shoot()
+					record(&t, code, simMicros, t0, err)
+				}
+				tallies <- t
+			}()
+		}
+		for c := 0; c < cfg.Conns; c++ {
+			t := <-tallies
+			res.Requests += t.requests
+			res.OK += t.ok
+			res.Rejected += t.rejected
+			res.Errors += t.errors
+		}
+	} else {
+		// Open loop: arrivals at a fixed rate regardless of response
+		// progress, bounded by Conns outstanding; arrivals past the
+		// bound are shed (and counted) rather than queued client-side,
+		// so server-side latency is not hidden by client queueing.
+		slots := make(chan struct{}, cfg.Conns)
+		for i := 0; i < cfg.Conns; i++ {
+			slots <- struct{}{}
+		}
+		results := make(chan tally, cfg.Conns)
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		var outstanding int
+		var shed uint64
+	genloop:
+		for {
+			select {
+			case now := <-ticker.C:
+				if !now.Before(deadline) {
+					break genloop
+				}
+				select {
+				case <-slots:
+					outstanding++
+					go func(t0 time.Time) {
+						var t tally
+						code, simMicros, err := shoot()
+						record(&t, code, simMicros, t0, err)
+						slots <- struct{}{}
+						results <- t
+					}(now)
+				default:
+					shed++
+				}
+			case t := <-results:
+				outstanding--
+				res.Requests += t.requests
+				res.OK += t.ok
+				res.Rejected += t.rejected
+				res.Errors += t.errors
+			}
+		}
+		ticker.Stop()
+		for ; outstanding > 0; outstanding-- {
+			t := <-results
+			res.Requests += t.requests
+			res.OK += t.ok
+			res.Rejected += t.rejected
+			res.Errors += t.errors
+		}
+		res.Shed = shed
+	}
+
+	res.WallSeconds = time.Since(start).Seconds()
+	if res.WallSeconds > 0 {
+		res.AchievedReqPerSec = float64(res.OK) / res.WallSeconds
+	}
+	res.WallP50, res.WallP99, res.WallP999 = wall.Quantiles()
+	res.SimP50, res.SimP99, res.SimP999 = sim.Quantiles()
+	if res.Requests == 0 {
+		return res, fmt.Errorf("serve: load generator issued no requests against %s", cfg.URL)
+	}
+	return res, nil
+}
+
+// SweepConfig drives the connections x workers capacity sweep.
+type SweepConfig struct {
+	FileSize uint32
+	Model    string
+	Workers  []int // fleet sizes to boot, one in-process daemon each
+	Conns    []int // client connection counts per fleet size
+	Rate     float64
+	Duration time.Duration
+	Queue    int // admission bound per daemon (0 = fleet default)
+}
+
+// Report is the BENCH_serve.json payload: every cell of the sweep plus
+// the capacity ceiling and the accepted-request conservation check.
+type Report struct {
+	Note         string       `json:"note"`
+	FileSize     uint32       `json:"file_size_bytes"`
+	Model        string       `json:"model"`
+	DurationSecs float64      `json:"duration_secs_per_cell"`
+	Cells        []LoadResult `json:"cells"`
+
+	// CapacityReqPerSec is the ceiling: the best achieved wall-clock
+	// rate over all cells, with the cell that reached it.
+	CapacityReqPerSec float64 `json:"capacity_req_per_s"`
+	CeilingWorkers    int     `json:"ceiling_workers"`
+	CeilingConns      int     `json:"ceiling_conns"`
+
+	// DroppedAccepted sums, over every daemon booted by the sweep,
+	// admitted requests that neither completed nor failed — always 0,
+	// or the drain guarantee is broken.
+	DroppedAccepted uint64 `json:"dropped_accepted"`
+	// Rejected503 sums typed-backpressure refusals across cells: the
+	// admission controller refusing load instead of queueing it.
+	Rejected503 uint64 `json:"rejected_503_total"`
+}
+
+// Sweep boots an in-process daemon per worker count and runs one load
+// cell per connection count against it.
+func Sweep(cfg SweepConfig) (Report, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4}
+	}
+	if len(cfg.Conns) == 0 {
+		cfg.Conns = []int{1, 4, 16}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.FileSize == 0 {
+		cfg.FileSize = 28
+	}
+	rep := Report{
+		Note: "HTTP serving capacity of the palladium-serve tier: each cell is an in-process daemon with a " +
+			"fixed fleet size under the given client connection count (closed-loop saturation unless " +
+			"open_loop_rate is set). Achieved rates are host wall-clock and depend on host cores; " +
+			"sim latencies are simulated service time and are host-independent.",
+		FileSize:     cfg.FileSize,
+		Model:        cfg.Model,
+		DurationSecs: cfg.Duration.Seconds(),
+	}
+	for _, workers := range cfg.Workers {
+		s, err := New(Config{
+			FileSize: cfg.FileSize,
+			Workers:  workers,
+			Queue:    cfg.Queue,
+			// Fixed fleet per cell: the sweep measures workersxconns,
+			// so autoscaling stays out of the picture.
+			MaxWorkers: workers,
+		})
+		if err != nil {
+			return rep, err
+		}
+		if err := s.Start(); err != nil {
+			return rep, err
+		}
+		for _, conns := range cfg.Conns {
+			cell, err := RunLoad(LoadConfig{
+				URL: s.URL(), Model: cfg.Model, Conns: conns,
+				Rate: cfg.Rate, Duration: cfg.Duration,
+			})
+			if err != nil {
+				s.Close(context.Background())
+				return rep, err
+			}
+			cell.Workers = workers
+			rep.Cells = append(rep.Cells, cell)
+			rep.Rejected503 += cell.Rejected
+			if cell.AchievedReqPerSec > rep.CapacityReqPerSec {
+				rep.CapacityReqPerSec = cell.AchievedReqPerSec
+				rep.CeilingWorkers = workers
+				rep.CeilingConns = conns
+			}
+		}
+		if err := s.Close(context.Background()); err != nil {
+			return rep, err
+		}
+		c := s.CountersSnapshot()
+		if done := c.Completed + c.Failed; c.Admitted > done {
+			rep.DroppedAccepted += c.Admitted - done
+		}
+	}
+	return rep, nil
+}
+
+// RenderReport prints the sweep in a table.
+func RenderReport(w io.Writer, rep Report) {
+	fmt.Fprintf(w, "palladium-serve capacity sweep (%d-byte file, model %q, %.1fs/cell)\n",
+		rep.FileSize, rep.Model, rep.DurationSecs)
+	fmt.Fprintf(w, "%-8s %-6s %10s %12s %9s %9s %9s %9s %9s %9s\n",
+		"workers", "conns", "req/s", "ok/503/err", "wall-p50", "wall-p99", "wall-p999", "sim-p50", "sim-p99", "sim-p999")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(w, "%-8d %-6d %10.0f %12s %8dus %8dus %8dus %8dus %8dus %8dus\n",
+			c.Workers, c.Conns, c.AchievedReqPerSec,
+			fmt.Sprintf("%d/%d/%d", c.OK, c.Rejected, c.Errors),
+			c.WallP50, c.WallP99, c.WallP999, c.SimP50, c.SimP99, c.SimP999)
+	}
+	fmt.Fprintf(w, "capacity ceiling: %.0f req/s at %d workers x %d conns; dropped accepted: %d\n",
+		rep.CapacityReqPerSec, rep.CeilingWorkers, rep.CeilingConns, rep.DroppedAccepted)
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics renders the observability surface as hand-rolled
+// Prometheus-style text: serving-tier request accounting, fleet
+// dispatcher counters, per-worker interpreter/chain/TLB counters
+// (published by the owning workers, so no machine state is read across
+// goroutines), and the latency quantiles.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+
+	c := s.CountersSnapshot()
+	fmt.Fprintf(&b, "# serving tier\n")
+	fmt.Fprintf(&b, "palladium_serve_admitted_total %d\n", c.Admitted)
+	fmt.Fprintf(&b, "palladium_serve_rejected_total %d\n", c.Rejected)
+	fmt.Fprintf(&b, "palladium_serve_completed_total %d\n", c.Completed)
+	fmt.Fprintf(&b, "palladium_serve_failed_total %d\n", c.Failed)
+	fmt.Fprintf(&b, "palladium_serve_scaleups_total %d\n", c.ScaleUps)
+	fmt.Fprintf(&b, "palladium_serve_inflight %d\n", s.pool.Inflight())
+	fmt.Fprintf(&b, "palladium_serve_queue_bound %d\n", s.pool.Bound())
+	fmt.Fprintf(&b, "palladium_serve_workers %d\n", s.pool.Workers())
+	fmt.Fprintf(&b, "palladium_serve_max_workers %d\n", s.maxWorkers)
+
+	st := s.pool.Stats()
+	fmt.Fprintf(&b, "# fleet dispatcher (totals since boot)\n")
+	fmt.Fprintf(&b, "palladium_fleet_requests_total %d\n", st.Requests)
+	fmt.Fprintf(&b, "palladium_fleet_errors_total %d\n", st.Errors)
+	fmt.Fprintf(&b, "palladium_fleet_steals_total %d\n", st.Steals)
+	fmt.Fprintf(&b, "palladium_fleet_queue_high_water %d\n", st.QueueHighWater)
+	fmt.Fprintf(&b, "palladium_fleet_sim_cycles_total %.0f\n", st.SimCycles)
+	fmt.Fprintf(&b, "palladium_fleet_busy_seconds_total %.6f\n", st.Busy.Seconds())
+	for _, ws := range st.Workers {
+		fmt.Fprintf(&b, "palladium_fleet_worker_requests_total{worker=\"%d\"} %d\n", ws.Worker, ws.Requests)
+		fmt.Fprintf(&b, "palladium_fleet_worker_sim_cycles_total{worker=\"%d\"} %.0f\n", ws.Worker, ws.SimCycles)
+	}
+
+	// Interpreter counters summed over the per-worker snapshots the
+	// owning workers publish after each request.
+	var blockHits, blockBuilds, blockInvalids, chainHits, fastFetches, tlbHits, tlbMisses, tlbFlushes uint64
+	for w := 0; w < s.pool.Workers() && w < len(s.wstats); w++ {
+		wc := s.wstats[w]
+		blockHits += wc.blockHits.Load()
+		blockBuilds += wc.blockBuilds.Load()
+		blockInvalids += wc.blockInvalids.Load()
+		chainHits += wc.chainHits.Load()
+		fastFetches += wc.fastFetches.Load()
+		tlbHits += wc.tlbHits.Load()
+		tlbMisses += wc.tlbMisses.Load()
+		tlbFlushes += wc.tlbFlushes.Load()
+	}
+	fmt.Fprintf(&b, "# interpreter (summed per-worker snapshots)\n")
+	fmt.Fprintf(&b, "palladium_interp_block_hits_total %d\n", blockHits)
+	fmt.Fprintf(&b, "palladium_interp_block_builds_total %d\n", blockBuilds)
+	fmt.Fprintf(&b, "palladium_interp_block_invalidations_total %d\n", blockInvalids)
+	fmt.Fprintf(&b, "palladium_interp_chain_hits_total %d\n", chainHits)
+	fmt.Fprintf(&b, "palladium_interp_fast_fetches_total %d\n", fastFetches)
+	fmt.Fprintf(&b, "palladium_tlb_hits_total %d\n", tlbHits)
+	fmt.Fprintf(&b, "palladium_tlb_misses_total %d\n", tlbMisses)
+	fmt.Fprintf(&b, "palladium_tlb_flushes_total %d\n", tlbFlushes)
+
+	fmt.Fprintf(&b, "# latency (microseconds)\n")
+	writeHist(&b, "palladium_serve_sim_latency_us", s.simHist)
+	writeHist(&b, "palladium_serve_wall_latency_us", s.wallHist)
+
+	fmt.Fprintf(&b, "# models\n")
+	names := make([]string, 0, len(modelNames))
+	for n := range modelNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "# available: %s (default %s)\n", strings.Join(names, " "), s.cfg.DefaultModel)
+
+	fmt.Fprint(w, b.String())
+}
+
+func writeHist(b *strings.Builder, name string, h *Hist) {
+	p50, p99, p999 := h.Quantiles()
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	fmt.Fprintf(b, "%s_mean %.3f\n", name, h.Mean())
+	fmt.Fprintf(b, "%s{quantile=\"0.5\"} %d\n", name, p50)
+	fmt.Fprintf(b, "%s{quantile=\"0.99\"} %d\n", name, p99)
+	fmt.Fprintf(b, "%s{quantile=\"0.999\"} %d\n", name, p999)
+	fmt.Fprintf(b, "%s_max %d\n", name, h.Max())
+}

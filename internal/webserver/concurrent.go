@@ -38,8 +38,9 @@ type FleetResult struct {
 	// WallSeconds is the host wall-clock time from first submission
 	// to drain.
 	WallSeconds float64
-	// QueueHighWater and Steals are dispatcher counters accumulated
-	// over the pool's lifetime (not just this run).
+	// QueueHighWater and Steals are dispatcher counters for THIS run
+	// only (a fleet.Pool.BeginRun delta), so back-to-back Serve calls
+	// on the same fleet report independent values.
 	QueueHighWater int
 	Steals         uint64
 }
@@ -95,22 +96,22 @@ func NewFleetSerial(fileSize uint32, workers int) (*Fleet, error) {
 // because the single machine executes the same request sequence and the
 // rate is computed from the same span by the same formula.
 func (f *Fleet) Serve(m Model, requests int) (FleetResult, error) {
-	before := f.Pool.Stats()
-	// Per-machine spans are end-minus-start reads of each machine's own
-	// clock — the same single subtraction the serial Throughput does —
-	// rather than a float sum of per-request deltas, so N=1 rates are
-	// bit-identical to the serial path.
-	clock0 := make([]float64, f.Pool.Workers())
-	for w := range clock0 {
-		clock0[w] = f.Pool.Machine(w).SimCycles()
-	}
+	// Per-machine spans are the run's first-to-last clock readings of
+	// each machine — the same single end-minus-start subtraction the
+	// serial Throughput does, recorded by the worker itself around its
+	// first and last served request — rather than a float sum of
+	// per-request deltas, so N=1 rates are bit-identical to the serial
+	// path, and a worker that joins mid-run (autoscaling) measures its
+	// own local span instead of inheriting the run's global start.
+	run := f.Pool.BeginRun()
+	workers := f.Pool.Workers()
 	start := time.Now()
 	for i := 0; i < requests; i++ {
 		// Round-robin pinned placement: the load balancer decides
 		// which machine serves which request, so the per-machine
 		// simulated spans are deterministic regardless of how the
 		// host schedules the worker goroutines.
-		err := f.Pool.SubmitTo(i%f.Pool.Workers(), func(_ int, srv *Server) error {
+		err := f.Pool.SubmitTo(i%workers, func(_ int, srv *Server) error {
 			_, err := srv.ServeRequest(m)
 			return err
 		})
@@ -119,38 +120,37 @@ func (f *Fleet) Serve(m Model, requests int) (FleetResult, error) {
 		}
 	}
 	f.Pool.Drain()
-	after := f.Pool.Stats()
+	rs := run.Stats()
 
 	res := FleetResult{
 		Model:              m,
-		Workers:            f.Pool.Workers(),
+		Workers:            len(rs.Workers),
 		Requests:           requests,
-		PerWorkerReqPerSec: make([]float64, f.Pool.Workers()),
-		PerWorkerRequests:  make([]uint64, f.Pool.Workers()),
+		PerWorkerReqPerSec: make([]float64, len(rs.Workers)),
+		PerWorkerRequests:  make([]uint64, len(rs.Workers)),
 		WallSeconds:        time.Since(start).Seconds(),
-		QueueHighWater:     after.QueueHighWater,
-		Steals:             after.Steals,
+		QueueHighWater:     rs.QueueHighWater,
+		Steals:             rs.Steals,
 	}
 	served := uint64(0)
-	for w := range after.Workers {
-		n := after.Workers[w].Requests - before.Workers[w].Requests
-		cyc := f.Pool.Machine(w).SimCycles() - clock0[w]
+	for w := range rs.Workers {
+		n := rs.Workers[w].Requests
 		res.PerWorkerRequests[w] = n
 		served += n
 		if n == 0 {
 			continue
 		}
-		rate := f.Pool.Machine(w).SustainedRate(cyc, int(n))
+		rate := f.Pool.Machine(w).SustainedRate(rs.Workers[w].SpanCycles, int(n))
 		res.PerWorkerReqPerSec[w] = rate
 		res.AggregateReqPerSec += rate
 	}
 	if served != uint64(requests) {
 		return res, fmt.Errorf("webserver: fleet served %d of %d requests", served, requests)
 	}
-	if errs := after.Errors - before.Errors; errs != 0 {
+	if rs.Errors != 0 {
 		_, err := f.Pool.Close()
 		if err == nil {
-			err = fmt.Errorf("webserver: %d fleet requests failed", errs)
+			err = fmt.Errorf("webserver: %d fleet requests failed", rs.Errors)
 		}
 		return res, err
 	}

@@ -79,3 +79,37 @@ func TestFleetReusedAcrossModels(t *testing.T) {
 		t.Errorf("static (%.0f) must outrun CGI (%.0f) in aggregate too", static, cgi)
 	}
 }
+
+// TestFleetPerRunCountersNotContaminated is the regression test for
+// the pool-lifetime-counter bug: back-to-back Serve runs on one fleet
+// must report their own QueueHighWater (a heavy run used to leak its
+// high water into a later light run's result, contaminating
+// BENCH_fleet.json).
+func TestFleetPerRunCountersNotContaminated(t *testing.T) {
+	f, err := NewFleet(28, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	heavy, err := f.Serve(Static, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := f.Serve(Static, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.QueueHighWater == 0 {
+		t.Error("heavy run reports no queue high water")
+	}
+	if light.QueueHighWater > 1 {
+		t.Errorf("light run (1 request/worker) high water = %d, want <= 1 (got the heavy run's?)",
+			light.QueueHighWater)
+	}
+	if light.Steals != 0 {
+		t.Errorf("pinned light run steals = %d, want 0", light.Steals)
+	}
+	if n := light.PerWorkerRequests[0] + light.PerWorkerRequests[1]; n != 2 {
+		t.Errorf("light run served %d requests, want 2", n)
+	}
+}

@@ -108,6 +108,14 @@ func (f *Fault) Unwrap() error { return f.cause }
 // Cause returns the underlying error (the same value Unwrap exposes).
 func (f *Fault) Cause() error { return f.cause }
 
+// NewFault builds a typed Fault for layers that sit above the backend
+// adapters but reuse the taxonomy — the serving tier's admission
+// control, for instance, classifies a full request queue as
+// Class Backpressure with the dispatcher's error as the cause.
+func NewFault(class Class, backend, op string, cause error) *Fault {
+	return &Fault{Class: class, Backend: backend, Op: op, cause: cause}
+}
+
 // errRevoked is the cause carried by Revoked faults on extensions
 // released through the sandbox API itself.
 var errRevoked = errors.New("sandbox: extension released")

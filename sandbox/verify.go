@@ -114,9 +114,9 @@ func kernelVerifyLayout(obj *isa.Object, opts LoadOptions) verify.Layout {
 		// window as aliasing its tracked stack slots.
 		StackAbs:      core.KernelExtStackTop - 8,
 		StackAbsKnown: true,
-		Arg:          verifyArgSpec(obj, opts),
-		AllowedInts:  []uint8{kernel.VecKernelSvc},
-		AllowExterns: true,
+		Arg:           verifyArgSpec(obj, opts),
+		AllowedInts:   []uint8{kernel.VecKernelSvc},
+		AllowExterns:  true,
 	}
 }
 
