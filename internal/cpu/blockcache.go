@@ -101,6 +101,15 @@ type codeBlock struct {
 	takenOK   bool
 	succFall  *codeBlock
 	succTaken *codeBlock
+
+	// Trace tier (see trace.go). hot counts chain-follows into this
+	// block; at Machine.TraceThreshold the block is promoted to a trace
+	// entry. trace is the compiled superblock rooted here (nil when
+	// none); traceFailed remembers that a build was refused so the
+	// dispatcher stops retrying until the block itself is rebuilt.
+	hot         uint32
+	trace       *trace
+	traceFailed bool
 }
 
 // chainExit resolves the exit at linear target to this block's
@@ -282,6 +291,10 @@ func (b *codeBlock) tickHorizon(cyc, deadline float64, start, limit int) int {
 // generation are unreachable (lookup and chain validation both require
 // the live generation) and are skipped.
 func (m *Machine) invalidateBlocksAt(lin uint32) {
+	// Traces first: their envelope spans every fused block, which may
+	// be wider than any single covering block (and must be checked even
+	// when the block-level early-out below fires).
+	m.invalidateTracesAt(lin)
 	if m.liveBlocks == 0 || lin < m.blockMin || lin >= m.blockMax {
 		return
 	}
@@ -302,6 +315,7 @@ func (m *Machine) invalidateBlocksAt(lin uint32) {
 // across invalidations) rejects non-overlapping installs without
 // scanning the cache.
 func (m *Machine) invalidateBlocksByPages(pages uint64) {
+	m.invalidateTracesByPages(pages)
 	if m.liveBlocks == 0 || m.blocksBloom&pages == 0 {
 		return
 	}
@@ -320,6 +334,7 @@ func (m *Machine) invalidateBlocksByPages(pages uint64) {
 // restore (the restored image may hold different code behind the same
 // physical addresses).
 func (m *Machine) clearBlockCache() {
+	m.clearTraces()
 	if m.liveBlocks == 0 {
 		return
 	}

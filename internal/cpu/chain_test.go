@@ -304,7 +304,10 @@ func TestColdTLBTickParity(t *testing.T) {
 // whose scripted event streams contain each chain-hostile event kind
 // (4 = LoadCR3 mid-chain, 5 = RemoveCode over a chained successor,
 // 6 = InstallCode over a chained successor) and replays the full
-// Run-vs-Step differential on them.
+// Run-vs-Step differential on them. Since diffExec runs with a
+// hair-trigger TraceThreshold, the same events are also trace-hostile:
+// each strikes while fused superblocks are live, so these replays pin
+// the trace tier's invalidation and deopt paths too.
 func TestChainHostileRegressionSeeds(t *testing.T) {
 	const base, span, perKind = int64(59990000), int64(4000), 2
 	found := map[int][]int64{}

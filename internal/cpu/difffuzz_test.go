@@ -10,15 +10,24 @@ import (
 	"repro/internal/mem"
 )
 
-// Differential fuzzing of the decoded-block cache (PR 1): a seeded
-// generator builds random straight-line + branchy programs, runs each
-// on two identical machines — one through the cached Run loop, one
-// through uncached single Steps — while a scripted stream of
-// invalidation events (InvalidatePage, SetBreak/ClearBreak,
-// InstallCode mid-stream) fires from the timer hook, and asserts the
-// two executions are indistinguishable: same stop reason and fault,
-// same retired instructions, same simulated cycles, same TLB
-// statistics, same final registers, flags and memory.
+// Differential fuzzing of the decoded-block cache (PR 1) and the
+// trace-superblock tier (PR 8): a seeded generator builds random
+// straight-line + branchy programs, runs each on two identical
+// machines — one through the cached Run loop, one through uncached
+// single Steps — while a scripted stream of invalidation events
+// (InvalidatePage, SetBreak/ClearBreak, InstallCode mid-stream) fires
+// from the timer hook, and asserts the two executions are
+// indistinguishable: same stop reason and fault, same retired
+// instructions, same simulated cycles, same TLB statistics, same
+// final registers, flags and memory.
+//
+// diffExec drops TraceThreshold to 3, so hot labels promote into
+// fused traces almost immediately and every scripted event is also a
+// trace-hostile event: paging events and code edits strike while a
+// trace is live, breakpoints land inside fused ranges, ticks and
+// budgets expire mid-trace, and generated faults hit arbitrary fused
+// positions. The oracle therefore pins tier-3 deoptimization — the
+// partial-commit path — to tier-1 semantics along with the chains.
 
 // diffRegs are the registers random programs scribble on. ESP and EBP
 // are excluded so stack handling stays structured (push/pop pairs and
@@ -57,7 +66,7 @@ func genProgram(rng *rand.Rand) (string, int) {
 	for blk := 0; blk < nblocks; blk++ {
 		fmt.Fprintf(&b, "b%d:\n", blk)
 		for n := 1 + rng.Intn(6); n > 0; n-- {
-			switch rng.Intn(16) {
+			switch rng.Intn(22) {
 			case 0:
 				fmt.Fprintf(&b, "\tmov %s, %d\n", reg(), rng.Int31())
 			case 1:
@@ -65,7 +74,11 @@ func genProgram(rng *rand.Rand) (string, int) {
 			case 2:
 				fmt.Fprintf(&b, "\tmov %s, [buf+%d]\n", reg(), disp())
 			case 3:
-				fmt.Fprintf(&b, "\tmov [buf+%d], %s\n", disp(), reg())
+				if rng.Intn(4) == 0 {
+					fmt.Fprintf(&b, "\tmov [buf+%d], %d\n", disp(), rng.Int31())
+				} else {
+					fmt.Fprintf(&b, "\tmov [buf+%d], %s\n", disp(), reg())
+				}
 			case 4:
 				fmt.Fprintf(&b, "\tmovb %s, [buf+%d]\n", reg(), disp())
 			case 5:
@@ -97,6 +110,43 @@ func genProgram(rng *rand.Rand) (string, int) {
 					fmt.Fprintf(&b, "\tmov %s, [%s]\n", reg(), reg())
 				} else {
 					fmt.Fprintf(&b, "\tmov [%s], %s\n", reg(), reg())
+				}
+			// Memory-destination and exotic forms, added with the
+			// trace tier so its fused read-modify-write micro-ops are
+			// under the differential too.
+			case 16:
+				if rng.Intn(2) == 0 {
+					fmt.Fprintf(&b, "\t%s [buf+%d], %s\n", alu[rng.Intn(len(alu))], disp(), reg())
+				} else {
+					fmt.Fprintf(&b, "\t%s [buf+%d], %d\n", alu[rng.Intn(len(alu))], disp(), rng.Int31n(1<<16))
+				}
+			case 17:
+				fmt.Fprintf(&b, "\t%s [buf+%d]\n", una[rng.Intn(len(una))], disp())
+			case 18:
+				fmt.Fprintf(&b, "\t%s [buf+%d], %d\n", shf[rng.Intn(len(shf))], disp(), rng.Intn(32))
+			case 19:
+				switch rng.Intn(3) {
+				case 0:
+					fmt.Fprintf(&b, "\txchg %s, %s\n", reg(), reg())
+				case 1:
+					fmt.Fprintf(&b, "\txchg %s, [buf+%d]\n", reg(), disp())
+				case 2:
+					fmt.Fprintf(&b, "\txchg [buf+%d], %s\n", disp(), reg())
+				}
+			case 20:
+				if rng.Intn(2) == 0 {
+					fmt.Fprintf(&b, "\timul %s, %d\n", reg(), rng.Int31n(1<<8))
+				} else {
+					fmt.Fprintf(&b, "\timul %s, [buf+%d]\n", reg(), disp())
+				}
+			case 21:
+				switch rng.Intn(3) {
+				case 0:
+					fmt.Fprintf(&b, "\tpush %d\n\tpop %s\n", rng.Int31(), reg())
+				case 1:
+					fmt.Fprintf(&b, "\tpush [buf+%d]\n\tpop %s\n", disp(), reg())
+				case 2:
+					fmt.Fprintf(&b, "\tpush %s\n\tpop [buf+%d]\n", reg(), disp())
 				}
 			}
 		}
@@ -181,6 +231,11 @@ func diffExec(tb testing.TB, runner func(*Machine, RunLimits) RunResult,
 	syms := h.install(0x0001_0000, src)
 	h.startUser(syms["entry"])
 	h.m.SetBreak(syms["stop"])
+	// Hair-trigger trace promotion: every generated loop goes hot, so
+	// the scripted events double as trace-hostile events (the Step leg
+	// never builds traces — stepRun bypasses the block runner — so the
+	// differential still compares tiers, not trace-vs-trace).
+	h.m.TraceThreshold = 3
 	next := 0
 	h.m.TickCycles = tick
 	h.m.OnTick = func(m *Machine) error {
@@ -309,11 +364,13 @@ func FuzzRunMatchesStep(f *testing.F) {
 
 // TestDiffProgramsExerciseTheCache guards the oracle's power: across
 // the seed fan, the generated programs must actually hit the decoded-
-// block cache and trigger explicit invalidations, or the differential
-// would be testing the uncached path against itself.
+// block cache, promote into traces, deoptimize out of them, and
+// trigger explicit invalidations — or the differential would be
+// testing the uncached path against itself.
 func TestDiffProgramsExerciseTheCache(t *testing.T) {
 	base := testSeed(t)
 	var hits, builds, invalidations uint64
+	var ts TraceStats
 	var faults, breaks, budgets int
 	for i := int64(0); i < 24; i++ {
 		rng := rand.New(rand.NewSource(base + i))
@@ -326,6 +383,15 @@ func TestDiffProgramsExerciseTheCache(t *testing.T) {
 		hits += bh
 		builds += bb
 		invalidations += bi
+		mt := h.m.TraceStats()
+		ts.Built += mt.Built
+		ts.Invalidated += mt.Invalidated
+		ts.Dispatches += mt.Dispatches
+		ts.SideExits += mt.SideExits
+		ts.DeoptTick += mt.DeoptTick
+		ts.DeoptFault += mt.DeoptFault
+		ts.DeoptPage += mt.DeoptPage
+		ts.DeoptBudget += mt.DeoptBudget
 		switch res.Reason {
 		case StopFault:
 			faults++
@@ -341,6 +407,16 @@ func TestDiffProgramsExerciseTheCache(t *testing.T) {
 	if invalidations == 0 {
 		t.Errorf("seed fan never triggered a block invalidation")
 	}
+	if ts.Built == 0 || ts.Dispatches == 0 {
+		t.Errorf("seed fan never engaged the trace tier (%+v)", ts)
+	}
+	if ts.Invalidated == 0 {
+		t.Errorf("seed fan never invalidated a trace; events are not trace-hostile (%+v)", ts)
+	}
+	if ts.DeoptTick+ts.DeoptFault+ts.DeoptPage+ts.DeoptBudget == 0 {
+		t.Errorf("seed fan never deoptimized mid-trace; partial commits untested (%+v)", ts)
+	}
 	t.Logf("outcome mix: %d breaks, %d faults, %d budgets; cache: %d hits, %d builds, %d invalidations",
 		breaks, faults, budgets, hits, builds, invalidations)
+	t.Logf("traces: %+v", ts)
 }

@@ -91,6 +91,27 @@ func (m *Machine) Run(lim RunLimits) RunResult {
 		if lim.MaxInstructions > 0 {
 			remaining = lim.MaxInstructions - res.Instructions
 		}
+		if m.TraceThreshold > 0 {
+			// Trace tier: promote a hot chain entry (runChain bailed
+			// out here after the chain-follow counter crossed the
+			// threshold) and dispatch through its superblock. A live b
+			// implies a live trace: both carry the same (gen, cs) tag,
+			// and everything that invalidates the entry block also
+			// detaches the trace.
+			if b.trace == nil && !b.traceFailed && b.hot >= m.TraceThreshold {
+				m.buildTrace(b, gen)
+			}
+			if tr := b.trace; tr != nil {
+				prev = nil
+				stop, n := m.runTrace(tr, remaining)
+				res.Instructions += n
+				if stop != nil {
+					stop.Instructions = res.Instructions
+					return *stop
+				}
+				continue
+			}
+		}
 		stop, n, exit, exitLin := m.runChain(b, remaining)
 		res.Instructions += n
 		if stop != nil {
@@ -258,6 +279,17 @@ func (m *Machine) runChain(b *codeBlock, remaining uint64) (*RunResult, uint64, 
 			next.lin == target && next.gen == gen && next.cs == b.cs &&
 			m.blocks[blockIndex(next.lin)] == next {
 			m.bcChainHits++
+			if m.TraceThreshold > 0 {
+				// Heat detection for the trace tier: count the chain
+				// follow and, once the successor is hot (or already has
+				// a trace), bail to Run so it can build/dispatch the
+				// superblock from the top of the dispatch loop. EIP is
+				// already at the successor's entry.
+				next.hot++
+				if next.trace != nil || (next.hot >= m.TraceThreshold && !next.traceFailed) {
+					return nil, n, nil, 0
+				}
+			}
 			b = next
 			continue
 		}

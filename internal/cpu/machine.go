@@ -150,6 +150,16 @@ type Machine struct {
 	bcChainHits        uint64 // chained block dispatches
 	bcFastFetches      uint64 // same-page fetch fast-path hits
 
+	// Trace tier (see trace.go). TraceThreshold is the chain-follow
+	// count that promotes a block into a trace entry (0 disables the
+	// tier); the registry mirrors the block cache's invalidation
+	// envelope and aggregate page bloom at trace granularity.
+	TraceThreshold     uint32
+	traces             []*trace
+	traceMin, traceMax uint32
+	tracesBloom        uint64
+	trStats            TraceStats
+
 	// Conservative linear envelopes over the armed breakpoints and
 	// registered services, so Run's dispatch loop can reject both maps
 	// with two compares instead of map probes. They grow on arm and
@@ -221,14 +231,15 @@ func unpackFlags(v uint32) Flags {
 // New creates a machine over shared physical memory, MMU and clock.
 func New(phys *mem.Physical, m *mmu.MMU, clock *cycles.Clock, model *cycles.Model) *Machine {
 	return &Machine{
-		Phys:     phys,
-		MMU:      m,
-		Clock:    clock,
-		Model:    model,
-		IDT:      make(map[uint8]mmu.Descriptor),
-		code:     make(map[uint32]*isa.Instr),
-		services: make(map[uint32]*Service),
-		breaks:   make(map[uint32]bool),
+		Phys:           phys,
+		MMU:            m,
+		Clock:          clock,
+		Model:          model,
+		IDT:            make(map[uint8]mmu.Descriptor),
+		code:           make(map[uint32]*isa.Instr),
+		services:       make(map[uint32]*Service),
+		breaks:         make(map[uint32]bool),
+		TraceThreshold: defaultTraceThreshold,
 	}
 }
 

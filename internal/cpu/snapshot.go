@@ -16,10 +16,13 @@ import (
 // memory image (copy-on-write, so a snapshot is O(chunks), not
 // O(bytes)).
 //
-// The decoded-block cache is deliberately NOT captured: it is a pure
-// wall-clock accelerator with no simulated side effects, and restore
-// invalidates it wholesale (via the MMU generation bump) so blocks
-// decoded on the abandoned timeline can never execute.
+// The decoded-block cache and the trace-superblock registry are
+// deliberately NOT captured: both are pure wall-clock accelerators with
+// no simulated side effects, and restore invalidates them wholesale
+// (clearBlockCache clears traces first, and the MMU generation bump
+// retires anything decoded on the abandoned timeline) so stale
+// translations can never execute. A restored machine re-detects heat
+// and rebuilds its traces with bit-identical simulated metrics.
 //
 // The installed-code map — one entry per instruction, the only large
 // machine table — is captured by reference and marked shared; the
@@ -146,6 +149,11 @@ func (m *Machine) Clone(phys *mem.Physical, mu *mmu.MMU, clock *cycles.Clock) *M
 		haltFlag:   m.haltFlag,
 		TickCycles: m.TickCycles,
 		nextTick:   m.nextTick,
+
+		// The trace tier's knob carries over; its caches do not — the
+		// clone re-detects heat and rebuilds its own traces, with
+		// bit-identical simulated metrics (traces never alter them).
+		TraceThreshold: m.TraceThreshold,
 	}
 	c.recomputeDispatchHints()
 	return c

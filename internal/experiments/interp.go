@@ -28,9 +28,25 @@ type InterpStats struct {
 	// FastFetches counts page-level fetch checks satisfied by the
 	// same-page fast path (each still counted as a TLB hit).
 	FastFetches uint64
-	TLBHits     uint64
-	TLBMisses   uint64
-	TLBFlushes  uint64
+	// TraceBuilds/TraceDispatches/TraceInvalids count the tier-3
+	// superblock engine: hot chains fused into flat traces, how often
+	// those traces ran, and how often events tore them down.
+	TraceBuilds     uint64
+	TraceDispatches uint64
+	TraceInvalids   uint64
+	// The deopt counters split mid-trace bailouts to the block tier by
+	// cause; each commits the partial architectural state
+	// bit-identically to tier 2. Tick and budget deopts are expected on
+	// any ticking or bounded workload; fault and page deopts mean a
+	// guest fault or a fetch-page remap struck inside a fused body and
+	// should be zero on the quiet -interp workload.
+	TraceDeoptTick   uint64
+	TraceDeoptFault  uint64
+	TraceDeoptPage   uint64
+	TraceDeoptBudget uint64
+	TLBHits          uint64
+	TLBMisses        uint64
+	TLBFlushes       uint64
 }
 
 // MeasureInterp runs the Table 2 string-reverse extension `calls`
@@ -71,6 +87,10 @@ func MeasureInterp(calls int) (InterpStats, error) {
 	st.SimCycles = s.Clock().Cycles()
 	st.BlockHits, st.BlockBuilds, st.BlockInvalids = m.BlockCacheStats()
 	st.ChainHits, st.FastFetches = m.ChainStats()
+	ts := m.TraceStats()
+	st.TraceBuilds, st.TraceDispatches, st.TraceInvalids = ts.Built, ts.Dispatches, ts.Invalidated
+	st.TraceDeoptTick, st.TraceDeoptFault = ts.DeoptTick, ts.DeoptFault
+	st.TraceDeoptPage, st.TraceDeoptBudget = ts.DeoptPage, ts.DeoptBudget
 	st.TLBHits, st.TLBMisses, st.TLBFlushes = s.K.MMU.TLB().Stats()
 	return st, nil
 }
@@ -85,6 +105,13 @@ func RenderInterp(w io.Writer, st InterpStats, calls int) {
 	fmt.Fprintf(w, "  block-cache invalids   %12d\n", st.BlockInvalids)
 	fmt.Fprintf(w, "  chained dispatches     %12d\n", st.ChainHits)
 	fmt.Fprintf(w, "  fast-path fetches      %12d\n", st.FastFetches)
+	fmt.Fprintf(w, "  traces built           %12d\n", st.TraceBuilds)
+	fmt.Fprintf(w, "  trace dispatches       %12d\n", st.TraceDispatches)
+	fmt.Fprintf(w, "  trace invalidations    %12d\n", st.TraceInvalids)
+	fmt.Fprintf(w, "  trace-deopt ticks      %12d\n", st.TraceDeoptTick)
+	fmt.Fprintf(w, "  trace-deopt faults     %12d\n", st.TraceDeoptFault)
+	fmt.Fprintf(w, "  trace-deopt pages      %12d\n", st.TraceDeoptPage)
+	fmt.Fprintf(w, "  trace-deopt budgets    %12d\n", st.TraceDeoptBudget)
 	fmt.Fprintf(w, "  TLB hits               %12d\n", st.TLBHits)
 	fmt.Fprintf(w, "  TLB misses             %12d\n", st.TLBMisses)
 	fmt.Fprintf(w, "  TLB flushes            %12d\n", st.TLBFlushes)

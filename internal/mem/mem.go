@@ -327,6 +327,28 @@ func (p *Physical) FrameMut(pa uint32) *[PageSize]byte {
 	return p.writeFrame(pa)
 }
 
+// FrameViewStable returns the frame containing pa for reading, plus
+// whether the caller may keep reading through the returned pointer
+// while it performs further accesses on this Physical: true only when
+// this Physical is the frame's sole owner (chunk and frame both
+// unshared), so no copy-on-write fault triggered by an interleaved
+// write can replace the frame underneath a held pointer. A shared
+// frame is still returned — valid for this one read — but must not be
+// cached: a later write to the same page would clone the frame and
+// leave the held pointer reading frozen snapshot bytes. The CPU's
+// trace tier uses this to pin frames for a dispatch, during which
+// nothing can newly share a frame (Snapshot and Clone never run
+// mid-dispatch).
+func (p *Physical) FrameViewStable(pa uint32) (*[PageSize]byte, bool) {
+	fn := pa >> PageShift
+	if c := p.root[fn>>physChunkBits]; c != nil {
+		if f := c.frames[fn&(physChunkSize-1)]; f != nil {
+			return &f.data, c.refs.Load() == 1 && f.refs.Load() == 1
+		}
+	}
+	return p.readFrame(pa), false
+}
+
 // Read8 reads one byte at physical address pa.
 func (p *Physical) Read8(pa uint32) byte {
 	return p.readFrame(pa)[pa&PageMask]

@@ -44,6 +44,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// Interpreter counters summed over the per-worker snapshots the
 	// owning workers publish after each request.
 	var blockHits, blockBuilds, blockInvalids, chainHits, fastFetches, tlbHits, tlbMisses, tlbFlushes uint64
+	var traceBuilds, traceDispatches, traceInvalids, traceDeopts uint64
 	for w := 0; w < s.pool.Workers() && w < len(s.wstats); w++ {
 		wc := s.wstats[w]
 		blockHits += wc.blockHits.Load()
@@ -51,6 +52,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		blockInvalids += wc.blockInvalids.Load()
 		chainHits += wc.chainHits.Load()
 		fastFetches += wc.fastFetches.Load()
+		traceBuilds += wc.traceBuilds.Load()
+		traceDispatches += wc.traceDispatches.Load()
+		traceInvalids += wc.traceInvalids.Load()
+		traceDeopts += wc.traceDeopts.Load()
 		tlbHits += wc.tlbHits.Load()
 		tlbMisses += wc.tlbMisses.Load()
 		tlbFlushes += wc.tlbFlushes.Load()
@@ -61,6 +66,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "palladium_interp_block_invalidations_total %d\n", blockInvalids)
 	fmt.Fprintf(&b, "palladium_interp_chain_hits_total %d\n", chainHits)
 	fmt.Fprintf(&b, "palladium_interp_fast_fetches_total %d\n", fastFetches)
+	fmt.Fprintf(&b, "palladium_interp_trace_builds_total %d\n", traceBuilds)
+	fmt.Fprintf(&b, "palladium_interp_trace_dispatches_total %d\n", traceDispatches)
+	fmt.Fprintf(&b, "palladium_interp_trace_invalidations_total %d\n", traceInvalids)
+	fmt.Fprintf(&b, "palladium_interp_trace_deopts_total %d\n", traceDeopts)
 	fmt.Fprintf(&b, "palladium_tlb_hits_total %d\n", tlbHits)
 	fmt.Fprintf(&b, "palladium_tlb_misses_total %d\n", tlbMisses)
 	fmt.Fprintf(&b, "palladium_tlb_flushes_total %d\n", tlbFlushes)

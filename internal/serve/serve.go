@@ -94,6 +94,8 @@ func ParseModel(name string) (webserver.Model, error) {
 type workerCounters struct {
 	blockHits, blockBuilds, blockInvalids atomic.Uint64
 	chainHits, fastFetches                atomic.Uint64
+	traceBuilds, traceDispatches          atomic.Uint64
+	traceInvalids, traceDeopts            atomic.Uint64
 	tlbHits, tlbMisses, tlbFlushes        atomic.Uint64
 }
 
@@ -346,12 +348,17 @@ func (s *Server) refreshWorkerCounters(wk int, srv *webserver.Server) {
 	c := s.wstats[wk]
 	hits, builds, invalids := srv.S.K.Machine.BlockCacheStats()
 	chains, fast := srv.S.K.Machine.ChainStats()
+	ts := srv.S.K.Machine.TraceStats()
 	th, tm, tf := srv.S.K.MMU.TLB().Stats()
 	c.blockHits.Store(hits)
 	c.blockBuilds.Store(builds)
 	c.blockInvalids.Store(invalids)
 	c.chainHits.Store(chains)
 	c.fastFetches.Store(fast)
+	c.traceBuilds.Store(ts.Built)
+	c.traceDispatches.Store(ts.Dispatches)
+	c.traceInvalids.Store(ts.Invalidated)
+	c.traceDeopts.Store(ts.DeoptTick + ts.DeoptFault + ts.DeoptPage + ts.DeoptBudget)
 	c.tlbHits.Store(th)
 	c.tlbMisses.Store(tm)
 	c.tlbFlushes.Store(tf)

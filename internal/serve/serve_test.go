@@ -123,20 +123,26 @@ func TestBackpressure503(t *testing.T) {
 // counters, fleet counters, per-worker interpreter counters and
 // latency quantiles all render, and pprof answers.
 func TestMetricsEndpoint(t *testing.T) {
+	// 100 requests, not a handful: the worker's hot serving loop must
+	// cross the trace-promotion threshold so the tier-3 counters below
+	// are provably live end to end.
 	s := startServer(t, Config{Workers: 1})
-	for i := 0; i < 5; i++ {
+	for i := 0; i < 100; i++ {
 		if resp, _ := get(t, s.URL()+"/serve?model=libcgi-prot"); resp.StatusCode != 200 {
 			t.Fatalf("request %d failed", i)
 		}
 	}
 	_, body := get(t, s.URL()+"/metrics")
 	for _, want := range []string{
-		"palladium_serve_completed_total 5",
+		"palladium_serve_completed_total 100",
 		"palladium_serve_rejected_total 0",
 		"palladium_serve_workers 1",
-		"palladium_fleet_requests_total 5",
-		"palladium_fleet_worker_requests_total{worker=\"0\"} 5",
+		"palladium_fleet_requests_total 100",
+		"palladium_fleet_worker_requests_total{worker=\"0\"} 100",
 		"palladium_interp_chain_hits_total",
+		"palladium_interp_trace_builds_total",
+		"palladium_interp_trace_dispatches_total",
+		"palladium_interp_trace_deopts_total",
 		"palladium_tlb_hits_total",
 		"palladium_serve_sim_latency_us{quantile=\"0.5\"}",
 		"palladium_serve_wall_latency_us{quantile=\"0.999\"}",
@@ -146,11 +152,16 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 	// The protected serving path runs real simulated code: the
-	// per-worker interpreter counters must be live, not zero.
-	for _, counter := range []string{"palladium_interp_chain_hits_total", "palladium_tlb_hits_total"} {
+	// per-worker interpreter counters — including the trace tier's —
+	// must be live, not zero.
+	for _, counter := range []string{
+		"palladium_interp_chain_hits_total",
+		"palladium_interp_trace_dispatches_total",
+		"palladium_tlb_hits_total",
+	} {
 		for _, line := range strings.Split(body, "\n") {
 			if strings.HasPrefix(line, counter+" ") && strings.TrimPrefix(line, counter+" ") == "0" {
-				t.Errorf("%s is zero after 5 protected requests", counter)
+				t.Errorf("%s is zero after 100 protected requests", counter)
 			}
 		}
 	}
