@@ -12,6 +12,9 @@
 //	palladium-bench -interp        # interpreter block-cache/TLB counters
 //	palladium-bench -fleet         # concurrent machine-fleet scaling curve
 //	palladium-bench -snapshot      # template-boot+clone vs serial fleet boots
+//	palladium-bench -clones        # ephemeral-clone serving: clone tax vs shared
+//	                               # machine, snapshot round-trip, frame dedup
+//	                               # (BENCH_clone.json)
 //	palladium-bench -matrix        # workload x backend matrix (BENCH_matrix.json)
 //	palladium-bench -matrix -backend sfi,bpf   # restrict the matrix's backends
 //	palladium-bench -verify        # static verifier: escape rejects, workload
@@ -52,6 +55,9 @@ func main() {
 	fleetJSON := flag.String("fleet-json", "", "write the -fleet report to this JSON file")
 	snapshotRun := flag.Bool("snapshot", false, "compare template-boot+clone against serial fleet boots")
 	snapshotJSON := flag.String("snapshot-json", "BENCH_snapshot.json", "write the -snapshot report to this JSON file")
+	clonesRun := flag.Bool("clones", false, "measure ephemeral-clone serving: clone tax, snapshot round-trip, frame dedup")
+	clonesJSON := flag.String("clones-json", "BENCH_clone.json", "write the -clones report to this JSON file")
+	dedupMachines := flag.Int("dedup-machines", 8, "resident machines restored from one image for the -clones dedup check")
 	matrixRun := flag.Bool("matrix", false, "run both workloads under every sandbox backend")
 	backend := flag.String("backend", "", "comma-separated sandbox backends for -matrix (default: all registered)")
 	matrixJSON := flag.String("matrix-json", "BENCH_matrix.json", "write the -matrix report to this JSON file")
@@ -71,7 +77,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun && !*matrixRun && !*verifyRun && !*serveLoad
+	all := *table == 0 && *figure == 0 && !*micro && !*ablation && !*interp && !*fleetRun && !*snapshotRun && !*clonesRun && !*matrixRun && !*verifyRun && !*serveLoad
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "palladium-bench:", err)
 		os.Exit(1)
@@ -198,6 +204,22 @@ func main() {
 				fail(err)
 			}
 			if err := os.WriteFile(*snapshotJSON, append(b, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *clonesRun {
+		rep, err := experiments.MeasureClones(experiments.Table3Sizes(), *requests, *dedupMachines)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderClones(os.Stdout, rep)
+		if *clonesJSON != "" {
+			b, err := json.MarshalIndent(rep, "", " ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*clonesJSON, append(b, '\n'), 0o644); err != nil {
 				fail(err)
 			}
 		}

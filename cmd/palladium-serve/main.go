@@ -18,6 +18,15 @@
 //	/metrics        Prometheus-style counters + latency quantiles
 //	/debug/pprof/   net/http/pprof
 //
+// Ephemeral-clone serving and snapshot cold starts:
+//
+//	palladium-serve -save-template tmpl.pal   # boot, snapshot to disk, exit
+//	palladium-serve -restore tmpl.pal         # cold-start from the snapshot
+//	palladium-serve -clone -warm-clones 4     # serve every request on a fresh
+//	                                          # clone from a warm pool, discarded
+//	                                          # after the response
+//	palladium-serve -scale-down-depth 0.5     # retire idle scaled-up workers
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, finishes every admitted request, then exits.
 package main
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/webserver"
 )
 
 func main() {
@@ -43,7 +53,12 @@ func main() {
 	queue := flag.Int("queue", 0, "admission bound on in-flight requests (default 4*max workers)")
 	scaleInterval := flag.Duration("scale-interval", 10*time.Millisecond, "autoscaler sampling period")
 	scaleDepth := flag.Float64("scale-depth", 2, "scale up while queue depth exceeds this per worker")
+	scaleDownDepth := flag.Float64("scale-down-depth", 0, "retire idle workers above the boot size while queue depth stays below this per remaining worker (0 disables)")
 	model := flag.String("model", "libcgi-prot", "default execution model when ?model= is absent")
+	clone := flag.Bool("clone", false, "ephemeral-clone mode: serve every request on a fresh clone of the template, discarded after the response")
+	warmClones := flag.Int("warm-clones", 2, "pre-forked warm clone pool depth for -clone")
+	restore := flag.String("restore", "", "cold-start the template from this snapshot file instead of booting (see -save-template)")
+	saveTemplate := flag.String("save-template", "", "boot a pristine template, write its snapshot to this file, and exit")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -51,15 +66,42 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *saveTemplate != "" {
+		srv, err := webserver.BootServer(uint32(*fileSize))
+		if err != nil {
+			fail(err)
+		}
+		img := srv.SaveBytes()
+		if err := os.WriteFile(*saveTemplate, img, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("palladium-serve: wrote %d-byte template snapshot (%d-byte file) to %s\n",
+			len(img), *fileSize, *saveTemplate)
+		return
+	}
+
+	var restoreImage []byte
+	if *restore != "" {
+		img, err := os.ReadFile(*restore)
+		if err != nil {
+			fail(err)
+		}
+		restoreImage = img
+	}
+
 	s, err := serve.New(serve.Config{
-		Addr:          *addr,
-		FileSize:      uint32(*fileSize),
-		Workers:       *workers,
-		MaxWorkers:    *maxWorkers,
-		Queue:         *queue,
-		ScaleInterval: *scaleInterval,
-		ScaleUpDepth:  *scaleDepth,
-		DefaultModel:  *model,
+		Addr:            *addr,
+		FileSize:        uint32(*fileSize),
+		Workers:         *workers,
+		MaxWorkers:      *maxWorkers,
+		Queue:           *queue,
+		ScaleInterval:   *scaleInterval,
+		ScaleUpDepth:    *scaleDepth,
+		ScaleDownDepth:  *scaleDownDepth,
+		ClonePerRequest: *clone,
+		WarmClones:      *warmClones,
+		RestoreImage:    restoreImage,
+		DefaultModel:    *model,
 	})
 	if err != nil {
 		fail(err)
@@ -85,8 +127,12 @@ func main() {
 		fail(err)
 	}
 	c := s.CountersSnapshot()
-	fmt.Printf("palladium-serve: done: admitted=%d completed=%d failed=%d rejected=%d scaleups=%d\n",
-		c.Admitted, c.Completed, c.Failed, c.Rejected, c.ScaleUps)
+	fmt.Printf("palladium-serve: done: admitted=%d completed=%d failed=%d rejected=%d scaleups=%d scaledowns=%d\n",
+		c.Admitted, c.Completed, c.Failed, c.Rejected, c.ScaleUps, c.ScaleDowns)
+	if cs, ok := s.CloneStats(); ok {
+		fmt.Printf("palladium-serve: clones: forks=%d discards=%d cold_steals=%d\n",
+			cs.Forks, cs.Discards, cs.ColdSteals)
+	}
 	if c.Admitted != c.Completed+c.Failed {
 		fail(fmt.Errorf("dropped %d admitted requests", c.Admitted-c.Completed-c.Failed))
 	}

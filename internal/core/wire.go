@@ -1,0 +1,372 @@
+// Snapshot-to-bytes serialization of a Palladium system and its
+// extensible application. The byte image carries the kernel image
+// (which carries the machine and the frame store) plus the core-level
+// registries' mutable state: segment cursors, range lists, async
+// queues, the Extension Function Table's live subset, stub-arena
+// cursors. The structural skeleton — which segments exist, where they
+// sit, which modules are loaded, which stubs were generated — is NOT
+// reconstructed from bytes: LoadFrom restores into a deterministically
+// booted twin and validates the image's skeleton against the twin's.
+// An image saved from a machine whose post-boot history created new
+// segments or loaded extra modules is rejected; palladium restores are
+// boot-plus-overlay, not arbitrary-heap resurrection.
+package core
+
+import (
+	"maps"
+	"slices"
+
+	"repro/internal/mem"
+)
+
+func saveRangeList(e *mem.Enc, r *rangeList) {
+	e.U32(uint32(len(r.sizes)))
+	for _, off := range slices.Sorted(maps.Keys(r.sizes)) {
+		e.U32(off)
+		e.U32(r.sizes[off])
+	}
+	e.U32(uint32(len(r.free)))
+	for _, sp := range r.free {
+		e.U32(sp.off)
+		e.U32(sp.size)
+	}
+}
+
+func loadRangeList(d *mem.Dec, what string) *rangeList {
+	r := newRangeList()
+	n := d.Len(what+" allocation", 1<<20)
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		off := d.U32()
+		size := d.U32()
+		if d.Err() != nil {
+			return nil
+		}
+		if int64(off) <= last {
+			d.Failf("%s allocation %#x out of order", what, off)
+			return nil
+		}
+		last = int64(off)
+		r.sizes[off] = size
+	}
+	n = d.Len(what+" free span", 1<<20)
+	last = -1
+	for i := 0; i < n; i++ {
+		sp := span{off: d.U32(), size: d.U32()}
+		if d.Err() != nil {
+			return nil
+		}
+		if int64(sp.off) <= last || sp.size == 0 {
+			d.Failf("%s free span %#x malformed", what, sp.off)
+			return nil
+		}
+		last = int64(sp.off)
+		r.free = append(r.free, sp)
+	}
+	return r
+}
+
+// SaveTo appends the system image: the registries' mutable state first
+// (pure decoding on the load side), the kernel — whose application is
+// the load's point of no return — last.
+func (s *System) SaveTo(e *mem.Enc) {
+	e.U32(s.nextSeg)
+	e.U32(uint32(len(s.segs)))
+	for _, seg := range s.segs {
+		e.String(seg.Name)
+		e.U32(seg.Base)
+		e.U32(seg.Limit)
+		e.U16(uint16(seg.Code))
+		e.U16(uint16(seg.Data))
+		e.U32(uint32(len(seg.modules)))
+		e.U32(seg.next)
+		saveRangeList(e, seg.ranges)
+		e.U32(uint32(len(seg.mapped)))
+		for _, page := range slices.Sorted(maps.Keys(seg.mapped)) {
+			e.U32(page)
+		}
+		e.Bool(seg.stubs != nil)
+		if seg.stubs != nil {
+			e.U32(seg.stubs.base)
+			e.U32(seg.stubs.next)
+			e.U32(seg.stubs.end)
+		}
+		e.Bool(seg.aborted)
+		e.Bool(seg.busy)
+		e.I32(int32(seg.QueueBound))
+		e.U32(uint32(len(seg.queue)))
+		for _, req := range seg.queue {
+			e.String(req.fn.Name)
+			e.U32(req.arg)
+		}
+	}
+	// The EFT's live subset: an abort unregisters entry points, so the
+	// image may hold fewer names than a fresh boot does.
+	e.U32(uint32(len(s.eft)))
+	for _, name := range slices.Sorted(maps.Keys(s.eft)) {
+		e.String(name)
+	}
+	e.U32(s.kernPrep.base)
+	e.U32(s.kernPrep.next)
+	e.U32(s.kernPrep.end)
+	saveRangeList(e, s.ktRanges)
+
+	s.K.SaveTo(e)
+}
+
+// segImage is one decoded segment's mutable state.
+type segImage struct {
+	next       uint32
+	ranges     *rangeList
+	mapped     map[uint32]bool
+	stubNext   uint32
+	hasStubs   bool
+	aborted    bool
+	busy       bool
+	queueBound int
+	queue      []asyncReq
+}
+
+// LoadFrom decodes a SaveTo image into this system, which must be a
+// deterministically booted twin (same boot path and post-boot segment/
+// module history as the saved system's boot). The whole core-level
+// image is decoded and validated against the twin's skeleton before
+// the kernel — the first mutating step — loads; the core-level apply
+// that follows cannot fail.
+func (s *System) LoadFrom(d *mem.Dec) error {
+	nextSeg := d.U32()
+	nSegs := d.Len("extension segment", 1<<16)
+	if d.Err() == nil && nSegs != len(s.segs) {
+		d.Failf("image has %d extension segments, booted twin has %d", nSegs, len(s.segs))
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	images := make([]segImage, nSegs)
+	for i := 0; i < nSegs; i++ {
+		seg := s.segs[i]
+		si := &images[i]
+		name := d.String()
+		base := d.U32()
+		limit := d.U32()
+		code := d.U16()
+		data := d.U16()
+		nMods := d.U32()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if name != seg.Name || base != seg.Base || limit != seg.Limit ||
+			code != uint16(seg.Code) || data != uint16(seg.Data) {
+			d.Failf("segment %d is %q@%#x in image, %q@%#x in booted twin", i, name, base, seg.Name, seg.Base)
+			return d.Err()
+		}
+		if int(nMods) != len(seg.modules) {
+			d.Failf("segment %q holds %d modules in image, %d in booted twin", name, nMods, len(seg.modules))
+			return d.Err()
+		}
+		si.next = d.U32()
+		if si.ranges = loadRangeList(d, "segment"); si.ranges == nil {
+			return d.Err()
+		}
+		nMapped := d.Len("mapped page", 1<<20)
+		si.mapped = make(map[uint32]bool, nMapped)
+		lastPage := int64(-1)
+		for j := 0; j < nMapped; j++ {
+			page := d.U32()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if int64(page) <= lastPage || page&uint32(mem.PageMask) != 0 {
+				d.Failf("segment %q mapped page %#x malformed", name, page)
+				return d.Err()
+			}
+			lastPage = int64(page)
+			si.mapped[page] = true
+		}
+		si.hasStubs = d.Bool()
+		if si.hasStubs {
+			sbase := d.U32()
+			si.stubNext = d.U32()
+			send := d.U32()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if seg.stubs == nil || sbase != seg.stubs.base || send != seg.stubs.end {
+				d.Failf("segment %q stub arena differs from booted twin's", name)
+				return d.Err()
+			}
+			if si.stubNext < sbase || si.stubNext > send {
+				d.Failf("segment %q stub cursor %#x outside arena", name, si.stubNext)
+				return d.Err()
+			}
+		} else if seg.stubs != nil {
+			d.Failf("segment %q has no stub arena in image but one in booted twin", name)
+			return d.Err()
+		}
+		si.aborted = d.Bool()
+		si.busy = d.Bool()
+		si.queueBound = int(d.I32())
+		nQueue := d.Len("async request", 1<<20)
+		for j := 0; j < nQueue; j++ {
+			fnName := d.String()
+			arg := d.U32()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			fn := s.eft[fnName]
+			if fn == nil {
+				d.Failf("queued request for %q not in booted twin's function table", fnName)
+				return d.Err()
+			}
+			si.queue = append(si.queue, asyncReq{fn: fn, arg: arg})
+		}
+	}
+
+	nEFT := d.Len("extension function", 1<<20)
+	eftNames := make([]string, 0, nEFT)
+	for i := 0; i < nEFT; i++ {
+		name := d.String()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if s.eft[name] == nil {
+			d.Failf("extension function %q not registered in booted twin", name)
+			return d.Err()
+		}
+		eftNames = append(eftNames, name)
+	}
+	prepBase := d.U32()
+	prepNext := d.U32()
+	prepEnd := d.U32()
+	if d.Err() == nil && (prepBase != s.kernPrep.base || prepEnd != s.kernPrep.end) {
+		d.Failf("kernel stub arena differs from booted twin's")
+	}
+	if d.Err() == nil && (prepNext < prepBase || prepNext > prepEnd) {
+		d.Failf("kernel stub cursor %#x outside arena", prepNext)
+	}
+	kt := loadRangeList(d, "kernel text")
+	if kt == nil {
+		return d.Err()
+	}
+
+	// The kernel is the point of no return: on success the machine,
+	// memory and process table are the image's, and the core-level
+	// apply below cannot fail.
+	if err := s.K.LoadFrom(d); err != nil {
+		return err
+	}
+
+	bootEFT := s.eft
+	s.eft = make(map[string]*KernelExtensionFunc, len(eftNames))
+	for _, name := range eftNames {
+		s.eft[name] = bootEFT[name]
+	}
+	for i := range images {
+		seg := s.segs[i]
+		si := &images[i]
+		seg.next = si.next
+		seg.ranges = si.ranges
+		seg.mapped = si.mapped
+		if seg.stubs != nil {
+			seg.stubs.next = si.stubNext
+		}
+		seg.aborted = si.aborted
+		seg.busy = si.busy
+		seg.QueueBound = si.queueBound
+		seg.queue = si.queue
+	}
+	s.nextSeg = nextSeg
+	s.kernPrep.next = prepNext
+	s.ktRanges = kt
+	return nil
+}
+
+// SaveTo appends the application's mutable state. The application's
+// skeleton — its process, loaded modules, generated stubs — lives in
+// the kernel image and the twin's boot; what the app object itself
+// adds are addresses and cursors.
+func (a *App) SaveTo(e *mem.Enc) {
+	e.Bool(a.promoted)
+	e.I32(int32(a.P.PID))
+	e.U32(a.spSave)
+	e.U32(a.bpSave)
+	e.U32(a.extStackTop)
+	e.U32(a.argSlot)
+	e.U16(uint16(a.appGateSel))
+	e.U32(a.gateAddr)
+	e.U32(a.callStack)
+	e.U32(a.svcNext)
+	e.U32(a.xheap)
+	e.U32(a.xheapEnd)
+	e.U64(a.maxInstr)
+	e.U32(uint32(a.handleCount))
+	e.U32(a.intraCaller)
+	e.U32(a.intraTarget)
+	e.Bool(a.stubs != nil)
+	if a.stubs != nil {
+		e.U32(a.stubs.base)
+		e.U32(a.stubs.next)
+		e.U32(a.stubs.end)
+	}
+}
+
+// LoadFrom decodes an application image against this booted twin app.
+// Boot-structural fields must match (a mismatch means the twin was not
+// booted the way the saved machine was); cursors restore. Must be
+// called after the owning System.LoadFrom so the PID check sees the
+// restored process table.
+func (a *App) LoadFrom(d *mem.Dec) error {
+	promoted := d.Bool()
+	pid := int(d.I32())
+	if d.Err() == nil && promoted != a.promoted {
+		d.Failf("image app promoted=%v, booted twin promoted=%v", promoted, a.promoted)
+	}
+	if d.Err() == nil && pid != a.P.PID {
+		d.Failf("image app is process %d, booted twin's is %d", pid, a.P.PID)
+	}
+	spSave := d.U32()
+	bpSave := d.U32()
+	extStackTop := d.U32()
+	argSlot := d.U32()
+	gateSel := d.U16()
+	gateAddr := d.U32()
+	callStack := d.U32()
+	svcNext := d.U32()
+	xheap := d.U32()
+	xheapEnd := d.U32()
+	maxInstr := d.U64()
+	handleCount := int(d.U32())
+	intraCaller := d.U32()
+	intraTarget := d.U32()
+	if d.Err() == nil && (gateSel != uint16(a.appGateSel) || gateAddr != a.gateAddr) {
+		d.Failf("image app call gate %#x@%#x differs from booted twin's", gateSel, gateAddr)
+	}
+	if d.Err() == nil && handleCount != a.handleCount {
+		d.Failf("image app loaded %d modules, booted twin loaded %d", handleCount, a.handleCount)
+	}
+	hasStubs := d.Bool()
+	var stubNext uint32
+	if hasStubs {
+		sbase := d.U32()
+		stubNext = d.U32()
+		send := d.U32()
+		if d.Err() == nil && (a.stubs == nil || sbase != a.stubs.base || send != a.stubs.end) {
+			d.Failf("image app stub arena differs from booted twin's")
+		}
+	} else if a.stubs != nil {
+		d.Failf("image app has no stub arena but booted twin does")
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	a.spSave, a.bpSave = spSave, bpSave
+	a.extStackTop, a.argSlot = extStackTop, argSlot
+	a.callStack, a.svcNext = callStack, svcNext
+	a.xheap, a.xheapEnd = xheap, xheapEnd
+	a.maxInstr, a.handleCount = maxInstr, handleCount
+	a.intraCaller, a.intraTarget = intraCaller, intraTarget
+	if a.stubs != nil {
+		a.stubs.next = stubNext
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+// Snapshot-to-bytes serialization of the machine. Mirrors
+// MachineSnapshot: architectural state, code/break tables, lifetime
+// counters, the clock and (through the MMU) the translation state. The
+// decoded-block cache and trace registry are wall-clock accelerators
+// with no simulated side effects and are not serialized; LoadFrom
+// clears them, and a restored machine re-detects heat with
+// bit-identical simulated metrics.
+//
+// The services map is the one table that cannot cross the byte
+// boundary: its handlers are Go closures over their owning kernel and
+// application. LoadFrom therefore restores INTO a deterministically
+// booted twin machine and validates that the twin's registered
+// endpoints (address, name, kind) exactly match the serialized set —
+// the handlers themselves are the twin's, already bound to the right
+// owners.
+package cpu
+
+import (
+	"maps"
+	"slices"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+func saveOperand(e *mem.Enc, o *isa.Operand) {
+	e.U8(uint8(o.Kind))
+	e.U8(uint8(o.Reg))
+	e.I32(o.Imm)
+	e.U8(uint8(o.Base))
+	e.U8(uint8(o.Index))
+	e.U8(o.Scale)
+	e.I32(o.Disp)
+	e.Bool(o.Proved)
+	e.U32(o.ProvedEnd)
+}
+
+func loadOperand(d *mem.Dec) isa.Operand {
+	return isa.Operand{
+		Kind:      isa.OperandKind(d.U8()),
+		Reg:       isa.Reg(d.U8()),
+		Imm:       d.I32(),
+		Base:      isa.Reg(d.U8()),
+		Index:     isa.Reg(d.U8()),
+		Scale:     d.U8(),
+		Disp:      d.I32(),
+		Proved:    d.Bool(),
+		ProvedEnd: d.U32(),
+	}
+}
+
+// SaveTo appends the machine image: clock, architectural state, IDT,
+// installed code, breakpoints, service endpoints (for validation), the
+// MMU state and the lifetime counters. Maps are emitted in sorted key
+// order so serialization is deterministic.
+func (m *Machine) SaveTo(e *mem.Enc) {
+	e.F64(m.Clock.Cycles())
+	e.F64(m.Clock.MHz())
+
+	for _, r := range m.Regs {
+		e.U32(r)
+	}
+	e.U32(m.EIP)
+	e.U16(uint16(m.CS))
+	e.U16(uint16(m.DS))
+	e.U16(uint16(m.SS))
+	e.U16(uint16(m.ES))
+	e.Bool(m.Flags.ZF)
+	e.Bool(m.Flags.SF)
+	e.Bool(m.Flags.CF)
+	e.Bool(m.Flags.OF)
+	for i := 0; i < 3; i++ {
+		e.U16(uint16(m.TSS.SS[i]))
+		e.U32(m.TSS.ESP[i])
+	}
+
+	e.U32(uint32(len(m.IDT)))
+	for _, vec := range slices.Sorted(maps.Keys(m.IDT)) {
+		gate := m.IDT[vec]
+		e.U8(vec)
+		mmu.SaveDescriptor(e, &gate)
+	}
+
+	e.U32(uint32(len(m.code)))
+	for _, pa := range slices.Sorted(maps.Keys(m.code)) {
+		in := m.code[pa]
+		e.U32(pa)
+		e.U8(uint8(in.Op))
+		e.U8(in.Size)
+		saveOperand(e, &in.Dst)
+		saveOperand(e, &in.Src)
+	}
+
+	e.U32(uint32(len(m.breaks)))
+	for _, pa := range slices.Sorted(maps.Keys(m.breaks)) {
+		e.U32(pa)
+	}
+
+	e.U32(uint32(len(m.services)))
+	for _, addr := range slices.Sorted(maps.Keys(m.services)) {
+		svc := m.services[addr]
+		e.U32(addr)
+		e.String(svc.Name)
+		e.U8(uint8(svc.Kind))
+	}
+
+	e.U64(m.instret)
+	e.Bool(m.haltFlag)
+	e.F64(m.TickCycles)
+	e.F64(m.nextTick)
+
+	// The MMU comes last so LoadFrom can decode and validate every
+	// cpu-level field before the first mutating step runs.
+	m.MMU.SaveTo(e)
+}
+
+// LoadFrom decodes a SaveTo image into this machine, which must be a
+// deterministically booted twin (same boot path as the saved machine):
+// its service-endpoint registry is validated against the image and
+// kept, since the handlers are closures only a boot can construct.
+// adoptSpace resolves the serialized CR3 (see MMU.LoadFrom). All
+// decoding and validation happens before anything is applied; on error
+// the machine is untouched.
+func (m *Machine) LoadFrom(d *mem.Dec, adoptSpace func(cr3 uint32) *mmu.AddressSpace) error {
+	clock := d.F64()
+	mhz := d.F64()
+	if d.Err() == nil && mhz != m.Clock.MHz() {
+		d.Failf("image clock is %v MHz, machine runs at %v MHz", mhz, m.Clock.MHz())
+	}
+
+	var regs [8]uint32
+	for i := range regs {
+		regs[i] = d.U32()
+	}
+	eip := d.U32()
+	cs := mmu.Selector(d.U16())
+	ds := mmu.Selector(d.U16())
+	ss := mmu.Selector(d.U16())
+	es := mmu.Selector(d.U16())
+	var flags Flags
+	flags.ZF = d.Bool()
+	flags.SF = d.Bool()
+	flags.CF = d.Bool()
+	flags.OF = d.Bool()
+	var tss TSS
+	for i := 0; i < 3; i++ {
+		tss.SS[i] = mmu.Selector(d.U16())
+		tss.ESP[i] = d.U32()
+	}
+
+	nIDT := d.Len("idt gate", 256)
+	idt := make(map[uint8]mmu.Descriptor, nIDT)
+	lastVec := -1
+	for i := 0; i < nIDT; i++ {
+		vec := d.U8()
+		if d.Err() == nil && int(vec) <= lastVec {
+			d.Failf("idt vector %#x out of order", vec)
+		}
+		lastVec = int(vec)
+		idt[vec] = mmu.LoadDescriptor(d)
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+
+	nCode := d.Len("code entry", 1<<26)
+	code := make(map[uint32]*isa.Instr, nCode)
+	lastPA := int64(-1)
+	for i := 0; i < nCode; i++ {
+		pa := d.U32()
+		if d.Err() == nil && int64(pa) <= lastPA {
+			d.Failf("code address %#x out of order", pa)
+		}
+		lastPA = int64(pa)
+		in := &isa.Instr{}
+		in.Op = isa.Op(d.U8())
+		in.Size = d.U8()
+		in.Dst = loadOperand(d)
+		in.Src = loadOperand(d)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		code[pa] = in
+	}
+
+	nBrk := d.Len("breakpoint", 1<<20)
+	breaks := make(map[uint32]bool, nBrk)
+	for i := 0; i < nBrk; i++ {
+		breaks[d.U32()] = true
+	}
+
+	// Service endpoints: validate the twin's registry against the
+	// image. The twin's handlers stay — they are already bound to the
+	// owners the twin boot constructed.
+	nSvc := d.Len("service", 1<<16)
+	if d.Err() == nil && nSvc != len(m.services) {
+		d.Failf("image has %d service endpoints, booted twin has %d", nSvc, len(m.services))
+	}
+	for i := 0; i < nSvc; i++ {
+		addr := d.U32()
+		name := d.String()
+		kind := d.U8()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		svc := m.services[addr]
+		if svc == nil {
+			d.Failf("image service %q at %#x not registered in booted twin", name, addr)
+			return d.Err()
+		}
+		if svc.Name != name || uint8(svc.Kind) != kind {
+			d.Failf("service at %#x is %q kind %d in image, %q kind %d in twin", addr, name, kind, svc.Name, svc.Kind)
+			return d.Err()
+		}
+	}
+
+	instret := d.U64()
+	haltFlag := d.Bool()
+	tickCycles := d.F64()
+	nextTick := d.F64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+
+	// MMU.LoadFrom validates everything it decodes before applying and
+	// is the last fallible step, so the all-or-nothing contract holds:
+	// either nothing has been applied yet, or nothing can fail anymore.
+	if err := m.MMU.LoadFrom(d, adoptSpace); err != nil {
+		return err
+	}
+
+	m.Clock.SetCycles(clock)
+	m.Regs, m.EIP = regs, eip
+	m.CS, m.DS, m.SS, m.ES = cs, ds, ss, es
+	m.Flags, m.TSS = flags, tss
+	m.IDT = idt
+	m.code = code
+	m.codeShared = false
+	m.breaks = breaks
+	m.instret = instret
+	m.haltFlag = haltFlag
+	m.TickCycles = tickCycles
+	m.nextTick = nextTick
+	m.recomputeDispatchHints()
+	m.clearBlockCache()
+	return nil
+}

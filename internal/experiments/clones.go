@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mem"
+	"repro/internal/webserver"
+)
+
+// CloneTaxPoint compares serving one Table 3 file size on a shared
+// long-lived machine against ephemeral-clone serving, where every
+// request runs on a fresh clone of a pristine template and the clone
+// is discarded afterwards. Wall-clock columns carry the clone tax; the
+// simulated metrics are bit-identical by construction, and
+// BitIdentical verifies it per model.
+type CloneTaxPoint struct {
+	FileSize uint32 `json:"file_size_bytes"`
+	Requests int    `json:"requests"`
+
+	// Host wall-clock seconds for the same request mix.
+	SharedWallSeconds    float64 `json:"shared_wall_seconds"`
+	ColdCloneWallSeconds float64 `json:"cold_clone_wall_seconds"` // fork inline on the request path
+	WarmCloneWallSeconds float64 `json:"warm_clone_wall_seconds"` // pre-forked warm pool
+
+	// Per-request clone tax in host microseconds, cold and warm.
+	ColdTaxMicrosPerRequest float64 `json:"cold_tax_micros_per_request"`
+	WarmTaxMicrosPerRequest float64 `json:"warm_tax_micros_per_request"`
+
+	// BitIdentical: for every model, a request on a fresh clone burns
+	// exactly the simulated cycles of the same request on a fresh
+	// shared machine — the clone tax is invisible in simulated metrics.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// CloneRoundTrip reports the snapshot-to-bytes fidelity check:
+// SaveBytes -> LoadBytes must reproduce the machine exactly.
+type CloneRoundTrip struct {
+	ImageBytes       int  `json:"image_bytes"`
+	FingerprintMatch bool `json:"fingerprint_match"`
+	// SimMetricsMatch: clock, retired instructions, TLB counters, frame
+	// count, COW counters and console output all survive the trip.
+	SimMetricsMatch bool `json:"sim_metrics_match"`
+	// Deterministic: re-serializing the restored machine is
+	// byte-identical to the original image.
+	Deterministic bool `json:"deterministic"`
+}
+
+// CloneDedup reports content-addressed frame interning across many
+// resident machines restored from the same image.
+type CloneDedup struct {
+	Machines             int     `json:"machines"`
+	FramesPerMachine     int     `json:"frames_per_machine"`
+	NaiveResidentFrames  int     `json:"naive_resident_frames"`
+	UniqueResidentFrames int     `json:"unique_resident_frames"`
+	Ratio                float64 `json:"ratio"`
+	// FingerprintsIntact: interning never changes any machine's logical
+	// contents.
+	FingerprintsIntact bool `json:"fingerprints_intact"`
+}
+
+// CloneReport is the BENCH_clone.json payload.
+type CloneReport struct {
+	Note      string          `json:"note"`
+	Tax       []CloneTaxPoint `json:"tax"`
+	RoundTrip CloneRoundTrip  `json:"round_trip"`
+	Dedup     CloneDedup      `json:"dedup"`
+}
+
+// MeasureClones produces the ephemeral-clone serving report: the
+// per-size clone tax, the snapshot round-trip fidelity, and the
+// content-addressed dedup ratio across dedupMachines restored
+// machines.
+func MeasureClones(sizes []uint32, requests, dedupMachines int) (CloneReport, error) {
+	rep := CloneReport{
+		Note: "Ephemeral-clone request serving vs a shared long-lived machine. Wall seconds are host " +
+			"wall-clock for the same request mix; simulated metrics are bit-identical (bit_identical " +
+			"checks per-model cycles). round_trip is SaveBytes->LoadBytes fidelity; dedup is " +
+			"content-addressed frame interning across machines restored from one image.",
+	}
+	for _, size := range sizes {
+		pt, err := measureCloneTax(size, requests)
+		if err != nil {
+			return rep, err
+		}
+		rep.Tax = append(rep.Tax, pt)
+	}
+	rt, img, err := measureRoundTrip()
+	if err != nil {
+		return rep, err
+	}
+	rep.RoundTrip = rt
+	dd, err := measureDedup(img, dedupMachines)
+	if err != nil {
+		return rep, err
+	}
+	rep.Dedup = dd
+	return rep, nil
+}
+
+func measureCloneTax(size uint32, requests int) (CloneTaxPoint, error) {
+	pt := CloneTaxPoint{FileSize: size, Requests: requests}
+	tmpl, err := webserver.BootServer(size)
+	if err != nil {
+		return pt, err
+	}
+
+	// Bit-identity anchor: per model, one request on a fresh clone vs
+	// the same request on a fresh shared machine (equal histories —
+	// per-request cycles may carry a one-time warm-up).
+	pt.BitIdentical = true
+	for _, m := range fleetModels {
+		anchor, err := webserver.BootServer(size)
+		if err != nil {
+			return pt, err
+		}
+		before := anchor.SimCycles()
+		if _, err := anchor.ServeRequest(m); err != nil {
+			return pt, err
+		}
+		anchorCycles := anchor.SimCycles() - before
+		c, err := tmpl.Clone()
+		if err != nil {
+			return pt, err
+		}
+		before = c.SimCycles()
+		if _, err := c.ServeRequest(m); err != nil {
+			return pt, err
+		}
+		if c.SimCycles()-before != anchorCycles {
+			pt.BitIdentical = false
+		}
+		c.S.K.Phys.Release()
+	}
+
+	// Shared baseline: one long-lived machine serves the whole mix.
+	shared, err := webserver.BootServer(size)
+	if err != nil {
+		return pt, err
+	}
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := shared.ServeRequest(fleetModels[i%len(fleetModels)]); err != nil {
+			return pt, err
+		}
+	}
+	pt.SharedWallSeconds = time.Since(start).Seconds()
+
+	// Cold path: fork inline on the request path, discard after.
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		c, err := tmpl.Clone()
+		if err != nil {
+			return pt, err
+		}
+		if _, err := c.ServeRequest(fleetModels[i%len(fleetModels)]); err != nil {
+			return pt, err
+		}
+		c.S.K.Phys.Release()
+	}
+	pt.ColdCloneWallSeconds = time.Since(start).Seconds()
+
+	// Warm path: the pool's filler pre-forks off the request path.
+	pool := fleet.NewClonePool(4, tmpl.Clone,
+		func(c *webserver.Server) { c.S.K.Phys.Release() })
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		c, err := pool.Take()
+		if err != nil {
+			pool.Close()
+			return pt, err
+		}
+		if _, err := c.ServeRequest(fleetModels[i%len(fleetModels)]); err != nil {
+			pool.Close()
+			return pt, err
+		}
+		pool.Discard(c)
+	}
+	pt.WarmCloneWallSeconds = time.Since(start).Seconds()
+	pool.Close()
+
+	pt.ColdTaxMicrosPerRequest = (pt.ColdCloneWallSeconds - pt.SharedWallSeconds) / float64(requests) * 1e6
+	pt.WarmTaxMicrosPerRequest = (pt.WarmCloneWallSeconds - pt.SharedWallSeconds) / float64(requests) * 1e6
+	return pt, nil
+}
+
+func measureRoundTrip() (CloneRoundTrip, []byte, error) {
+	var rt CloneRoundTrip
+	srv, err := webserver.BootServer(1024)
+	if err != nil {
+		return rt, nil, err
+	}
+	for _, m := range fleetModels {
+		if _, err := srv.ServeRequest(m); err != nil {
+			return rt, nil, err
+		}
+	}
+	img := srv.SaveBytes()
+	rt.ImageBytes = len(img)
+	restored, err := webserver.LoadServerBytes(img)
+	if err != nil {
+		return rt, nil, fmt.Errorf("experiments: restore: %w", err)
+	}
+	rt.FingerprintMatch = restored.S.K.Phys.Fingerprint() == srv.S.K.Phys.Fingerprint()
+	rt.SimMetricsMatch = cloneMetricsEqual(srv, restored)
+	resave := restored.SaveBytes()
+	rt.Deterministic = len(resave) == len(img)
+	if rt.Deterministic {
+		for i := range img {
+			if resave[i] != img[i] {
+				rt.Deterministic = false
+				break
+			}
+		}
+	}
+	return rt, img, nil
+}
+
+// cloneMetricsEqual compares every simulated metric two machines
+// expose: clock, retired instructions, TLB counters, frames, COW
+// counters and console output.
+func cloneMetricsEqual(a, b *webserver.Server) bool {
+	ka, kb := a.S.K, b.S.K
+	ah, am, af := ka.MMU.TLB().Stats()
+	bh, bm, bf := kb.MMU.TLB().Stats()
+	as, ac, ad := ka.Phys.COWStats()
+	bs, bc, bd := kb.Phys.COWStats()
+	return ka.Clock.Cycles() == kb.Clock.Cycles() &&
+		ka.Machine.Instructions() == kb.Machine.Instructions() &&
+		ah == bh && am == bm && af == bf &&
+		as == bs && ac == bc && ad == bd &&
+		ka.Phys.FrameCount() == kb.Phys.FrameCount() &&
+		string(ka.ConsoleOut) == string(kb.ConsoleOut)
+}
+
+func measureDedup(img []byte, n int) (CloneDedup, error) {
+	dd := CloneDedup{Machines: n}
+	store := mem.NewFrameStore()
+	machines := make([]*webserver.Server, n)
+	phys := make([]*mem.Physical, n)
+	fps := make([]uint64, n)
+	for i := range machines {
+		m, err := webserver.LoadServerBytes(img)
+		if err != nil {
+			return dd, err
+		}
+		machines[i] = m
+		phys[i] = m.S.K.Phys
+		fps[i] = m.S.K.Phys.Fingerprint()
+	}
+	dd.FramesPerMachine = phys[0].FrameCount()
+	for _, p := range phys {
+		p.Intern(store)
+	}
+	naive, unique := mem.ResidentFrames(phys...)
+	dd.NaiveResidentFrames = naive
+	dd.UniqueResidentFrames = unique
+	if unique > 0 {
+		dd.Ratio = float64(naive) / float64(unique)
+	}
+	dd.FingerprintsIntact = true
+	for i, p := range phys {
+		if p.Fingerprint() != fps[i] {
+			dd.FingerprintsIntact = false
+		}
+	}
+	return dd, nil
+}
+
+// RenderClones prints the ephemeral-clone serving report.
+func RenderClones(w io.Writer, rep CloneReport) {
+	fmt.Fprintf(w, "Ephemeral-clone serving: clone tax vs shared machine (%d requests/path)\n",
+		reqCount(rep))
+	fmt.Fprintf(w, "%-10s %11s %11s %11s %11s %11s %13s\n",
+		"Size", "shared(s)", "cold(s)", "warm(s)", "cold(us/r)", "warm(us/r)", "bit-identical")
+	for _, p := range rep.Tax {
+		fmt.Fprintf(w, "%-10d %11.4f %11.4f %11.4f %11.1f %11.1f %13v\n",
+			p.FileSize, p.SharedWallSeconds, p.ColdCloneWallSeconds, p.WarmCloneWallSeconds,
+			p.ColdTaxMicrosPerRequest, p.WarmTaxMicrosPerRequest, p.BitIdentical)
+	}
+	fmt.Fprintf(w, "round trip: %d-byte image, fingerprint match %v, sim metrics match %v, deterministic %v\n",
+		rep.RoundTrip.ImageBytes, rep.RoundTrip.FingerprintMatch,
+		rep.RoundTrip.SimMetricsMatch, rep.RoundTrip.Deterministic)
+	fmt.Fprintf(w, "dedup: %d machines x %d frames: %d resident -> %d unique (%.1fx), contents intact %v\n",
+		rep.Dedup.Machines, rep.Dedup.FramesPerMachine, rep.Dedup.NaiveResidentFrames,
+		rep.Dedup.UniqueResidentFrames, rep.Dedup.Ratio, rep.Dedup.FingerprintsIntact)
+}
+
+func reqCount(rep CloneReport) int {
+	if len(rep.Tax) == 0 {
+		return 0
+	}
+	return rep.Tax[0].Requests
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestMeasureClones is the acceptance gate for ephemeral-clone
+// serving: bit-identical simulated metrics on clones, exact snapshot
+// round-trip, and >= 2x resident-frame dedup across 8 restored
+// machines.
+func TestMeasureClones(t *testing.T) {
+	rep, err := MeasureClones([]uint32{28, 1024}, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tax) != 2 {
+		t.Fatalf("got %d tax points", len(rep.Tax))
+	}
+	for _, pt := range rep.Tax {
+		if !pt.BitIdentical {
+			t.Errorf("size %d: clone serving not bit-identical to shared machine", pt.FileSize)
+		}
+		if pt.SharedWallSeconds <= 0 || pt.ColdCloneWallSeconds <= 0 || pt.WarmCloneWallSeconds <= 0 {
+			t.Errorf("size %d: empty wall measurements: %+v", pt.FileSize, pt)
+		}
+	}
+	rt := rep.RoundTrip
+	if !rt.FingerprintMatch || !rt.SimMetricsMatch || !rt.Deterministic {
+		t.Errorf("round trip degraded: %+v", rt)
+	}
+	if rt.ImageBytes == 0 {
+		t.Errorf("empty snapshot image")
+	}
+	dd := rep.Dedup
+	if dd.Machines != 8 || !dd.FingerprintsIntact {
+		t.Errorf("dedup ran wrong: %+v", dd)
+	}
+	if dd.Ratio < 2 {
+		t.Errorf("dedup ratio %.2fx across %d machines, want >= 2x", dd.Ratio, dd.Machines)
+	}
+	if dd.NaiveResidentFrames != dd.Machines*dd.FramesPerMachine {
+		t.Errorf("naive residency %d != %d machines x %d frames",
+			dd.NaiveResidentFrames, dd.Machines, dd.FramesPerMachine)
+	}
+}

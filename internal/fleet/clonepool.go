@@ -1,0 +1,203 @@
+// Warm clone pool for ephemeral-clone request serving: requests run on
+// a machine forked from a pristine template and discarded afterwards —
+// never restored — so cross-request isolation comes from never reusing
+// a machine, not from scrubbing one. The fork happens off the hot path:
+// a single filler goroutine (the only goroutine that ever touches the
+// template, keeping it quiescent) pre-forks clones into a bounded warm
+// stack, and the serving path just pops one. A request that finds the
+// stack dry pays the fork tax inline — the ColdSteals gauge counts how
+// often the filler lost that race.
+package fleet
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed reports a Take after the clone pool shut down.
+var ErrPoolClosed = errors.New("fleet: clone pool is closed")
+
+// CloneStats is a snapshot of the pool gauges.
+type CloneStats struct {
+	// WarmDepth is the current number of pre-forked clones waiting.
+	WarmDepth int
+	// TargetDepth is the configured warm bound.
+	TargetDepth int
+	// Forks counts every clone ever created, warm and cold alike.
+	Forks uint64
+	// ColdSteals counts Takes that found the warm stack dry and forked
+	// inline on the request path.
+	ColdSteals uint64
+	// Discards counts clones handed back and released.
+	Discards uint64
+}
+
+// ClonePool pre-forks machines from a template. M is typically
+// *webserver.Server; the pool is generic so tests can drive it with
+// counters instead of full machines.
+type ClonePool[M any] struct {
+	clone   func() (M, error) // forks one machine off the template
+	discard func(M)           // releases a spent machine's resources
+
+	// forkMu serializes every clone() call: the template must be
+	// quiescent while forked, so the filler and cold-path Takes never
+	// fork concurrently.
+	forkMu sync.Mutex
+
+	mu     sync.Mutex
+	warm   []M
+	target int
+	closed bool
+
+	forks      uint64
+	coldSteals uint64
+	discards   uint64
+
+	wake chan struct{}
+	done chan struct{}
+}
+
+// NewClonePool starts a pool keeping up to depth pre-forked clones
+// warm. clone runs only on the filler goroutine or inline in a
+// cold-path Take, never concurrently with itself — the template stays
+// quiescent. discard is called (on the caller's goroutine) for every
+// machine handed to Discard and for warm machines at Close.
+func NewClonePool[M any](depth int, clone func() (M, error), discard func(M)) *ClonePool[M] {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &ClonePool[M]{
+		clone:   clone,
+		discard: discard,
+		warm:    make([]M, 0, depth),
+		target:  depth,
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go p.fill()
+	p.kick()
+	return p
+}
+
+func (p *ClonePool[M]) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// fill is the filler loop: the one goroutine that forks off the
+// template in steady state.
+func (p *ClonePool[M]) fill() {
+	defer close(p.done)
+	for range p.wake {
+		for {
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			if len(p.warm) >= p.target {
+				p.mu.Unlock()
+				break
+			}
+			p.mu.Unlock()
+			p.forkMu.Lock()
+			m, err := p.clone()
+			p.forkMu.Unlock()
+			if err != nil {
+				// Forks are retried on the next kick; a cold-path Take
+				// surfaces the error to a caller who can handle it.
+				break
+			}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				p.discard(m)
+				return
+			}
+			p.warm = append(p.warm, m)
+			p.forks++
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Take pops a warm clone, or forks inline (a cold steal) when the warm
+// stack is dry. The caller owns the returned machine exclusively and
+// must hand it to Discard when done.
+func (p *ClonePool[M]) Take() (M, error) {
+	var zero M
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return zero, ErrPoolClosed
+	}
+	if n := len(p.warm); n > 0 {
+		m := p.warm[n-1]
+		p.warm[n-1] = zero
+		p.warm = p.warm[:n-1]
+		p.mu.Unlock()
+		p.kick()
+		return m, nil
+	}
+	p.coldSteals++
+	p.mu.Unlock()
+	p.kick()
+	// The template is only ever forked by one goroutine at a time: the
+	// filler owns it in steady state, so the cold path serializes with
+	// it through forkMu rather than forking concurrently.
+	p.forkMu.Lock()
+	m, err := p.clone()
+	p.forkMu.Unlock()
+	if err != nil {
+		return zero, err
+	}
+	p.mu.Lock()
+	p.forks++
+	p.mu.Unlock()
+	return m, nil
+}
+
+// Discard releases a spent clone. Never reuse a discarded machine.
+func (p *ClonePool[M]) Discard(m M) {
+	p.discard(m)
+	p.mu.Lock()
+	p.discards++
+	p.mu.Unlock()
+}
+
+// Stats snapshots the pool gauges.
+func (p *ClonePool[M]) Stats() CloneStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return CloneStats{
+		WarmDepth:   len(p.warm),
+		TargetDepth: p.target,
+		Forks:       p.forks,
+		ColdSteals:  p.coldSteals,
+		Discards:    p.discards,
+	}
+}
+
+// Close stops the filler and discards every warm clone. Take fails
+// afterwards; machines already taken may still be Discarded.
+func (p *ClonePool[M]) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	warm := p.warm
+	p.warm = nil
+	p.mu.Unlock()
+	close(p.wake)
+	<-p.done
+	for _, m := range warm {
+		p.discard(m)
+		p.mu.Lock()
+		p.discards++
+		p.mu.Unlock()
+	}
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gatedClones builds a clone source whose forks block until fed
+// through gate, so tests control exactly when the filler can work.
+type gatedClones struct {
+	gate      chan struct{}
+	forked    atomic.Int32
+	discarded atomic.Int32
+	inClone   atomic.Int32 // concurrency tripwire
+}
+
+func (g *gatedClones) clone() (int, error) {
+	<-g.gate
+	if g.inClone.Add(1) != 1 {
+		panic("concurrent clone: template not quiescent")
+	}
+	defer g.inClone.Add(-1)
+	return int(g.forked.Add(1)), nil
+}
+
+func (g *gatedClones) discard(int) { g.discarded.Add(1) }
+
+func waitDepth(t *testing.T, p *ClonePool[int], want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().WarmDepth != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("warm depth %d never reached %d", p.Stats().WarmDepth, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClonePoolWarmPath: the filler pre-forks to the target depth off
+// the hot path; Take pops warm clones without forking inline.
+func TestClonePoolWarmPath(t *testing.T) {
+	g := &gatedClones{gate: make(chan struct{}, 100)}
+	p := NewClonePool(3, g.clone, g.discard)
+	defer p.Close()
+	for i := 0; i < 10; i++ {
+		g.gate <- struct{}{}
+	}
+	waitDepth(t, p, 3)
+
+	m, err := p.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == 0 {
+		t.Fatal("got zero clone")
+	}
+	p.Discard(m)
+	waitDepth(t, p, 3) // filler topped the stack back up
+	st := p.Stats()
+	if st.TargetDepth != 3 || st.ColdSteals != 0 || st.Discards != 1 {
+		t.Errorf("stats %+v: want target 3, no cold steals, 1 discard", st)
+	}
+	if st.Forks != uint64(g.forked.Load()) {
+		t.Errorf("Forks gauge %d != clones created %d", st.Forks, g.forked.Load())
+	}
+}
+
+// TestClonePoolColdSteal: a Take that finds the warm stack dry forks
+// inline and is counted as a cold steal.
+func TestClonePoolColdSteal(t *testing.T) {
+	g := &gatedClones{gate: make(chan struct{}, 100)}
+	p := NewClonePool(1, g.clone, g.discard)
+	defer p.Close()
+	g.gate <- struct{}{}
+	waitDepth(t, p, 1)
+
+	if _, err := p.Take(); err != nil { // pops the only warm clone
+		t.Fatal(err)
+	}
+	// The stack is dry and the filler is blocked on the gate: this Take
+	// must go down the cold path (and block in clone until fed).
+	took := make(chan error, 1)
+	go func() {
+		_, err := p.Take()
+		took <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().ColdSteals == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cold steal never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.gate <- struct{}{}
+	g.gate <- struct{}{} // one for the cold path, one for the filler
+	if err := <-took; err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.ColdSteals != 1 {
+		t.Errorf("ColdSteals = %d, want 1", st.ColdSteals)
+	}
+}
+
+// TestClonePoolCloseDrains: Close discards every warm clone and fails
+// later Takes; clones still out may be discarded afterwards.
+func TestClonePoolCloseDrains(t *testing.T) {
+	g := &gatedClones{gate: make(chan struct{}, 100)}
+	p := NewClonePool(2, g.clone, g.discard)
+	for i := 0; i < 4; i++ {
+		g.gate <- struct{}{}
+	}
+	waitDepth(t, p, 2)
+	m, err := p.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if _, err := p.Take(); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Take after Close: %v, want ErrPoolClosed", err)
+	}
+	p.Discard(m)
+	// Every clone ever forked was handed back: warm ones at Close, the
+	// taken one explicitly.
+	if g.discarded.Load() != g.forked.Load() {
+		t.Errorf("%d of %d clones never discarded", g.forked.Load()-g.discarded.Load(), g.forked.Load())
+	}
+}
+
+// TestClonePoolHammer: concurrent Take/Discard churn under -race, with
+// the inClone tripwire proving no two forks ever overlap — the
+// template stays quiescent no matter how the warm and cold paths race.
+func TestClonePoolHammer(t *testing.T) {
+	g := &gatedClones{gate: make(chan struct{}, 1<<20)}
+	for i := 0; i < 1<<19; i++ {
+		g.gate <- struct{}{}
+	}
+	p := NewClonePool(4, g.clone, g.discard)
+	var wg sync.WaitGroup
+	var taken atomic.Int32
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m, err := p.Take()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				taken.Add(1)
+				p.Discard(m)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if taken.Load() != 800 {
+		t.Errorf("took %d clones, want 800", taken.Load())
+	}
+	if g.discarded.Load() != g.forked.Load() {
+		t.Errorf("%d clones leaked", g.forked.Load()-g.discarded.Load())
+	}
+	st := p.Stats()
+	if st.Forks != uint64(g.forked.Load()) || st.Discards != uint64(g.discarded.Load()) {
+		t.Errorf("gauges %+v drifted from ground truth fork=%d discard=%d",
+			st, g.forked.Load(), g.discarded.Load())
+	}
+}

@@ -68,6 +68,11 @@ type WorkerStats struct {
 	// SimCycles is the simulated cycles charged to this worker's
 	// machine while executing requests.
 	SimCycles float64
+	// Retired reports that the worker has been removed from the pool
+	// (RemoveMachine): it serves nothing further, but its counters stay
+	// in every snapshot so pool totals remain conservation-exact across
+	// scale-downs.
+	Retired bool
 	// BootCycles is the machine's simulated clock reading right after
 	// boot, before any request ran.
 	BootCycles float64
@@ -196,6 +201,10 @@ type Pool[M Machine] struct {
 	closing  bool
 
 	machines []M
+	retired  []bool // worker has been told to retire (RemoveMachine)
+	exited   []bool // worker goroutine has finished draining and left
+	gone     *sync.Cond
+	live     int // workers not retired
 	stats    []WorkerStats
 	epoch    uint64     // bumped by BeginRun; scopes the run tracking
 	runs     []runTrack // per-worker tracking for the current run
@@ -230,6 +239,9 @@ func New[M Machine](cfg Config, boot func(worker int) (M, error)) (*Pool[M], err
 		queues:   make([]ring[M], cfg.Workers),
 		bound:    cfg.Queue,
 		machines: make([]M, cfg.Workers),
+		retired:  make([]bool, cfg.Workers),
+		exited:   make([]bool, cfg.Workers),
+		live:     cfg.Workers,
 		stats:    make([]WorkerStats, cfg.Workers),
 		runs:     make([]runTrack, cfg.Workers),
 	}
@@ -241,6 +253,7 @@ func New[M Machine](cfg Config, boot func(worker int) (M, error)) (*Pool[M], err
 	p.work = sync.NewCond(&p.mu)
 	p.space = sync.NewCond(&p.mu)
 	p.idle = sync.NewCond(&p.mu)
+	p.gone = sync.NewCond(&p.mu)
 	for w := 0; w < cfg.Workers; w++ {
 		m, err := boot(w)
 		if err != nil {
@@ -270,6 +283,9 @@ func (p *Pool[M]) AddMachine(m M) (int, error) {
 	}
 	w := len(p.machines)
 	p.machines = append(p.machines, m)
+	p.retired = append(p.retired, false)
+	p.exited = append(p.exited, false)
+	p.live++
 	p.stats = append(p.stats, WorkerStats{Worker: w, BootCycles: m.SimCycles()})
 	p.queues = append(p.queues, ring[M]{buf: make([]item[M], p.bound)})
 	p.runs = append(p.runs, runTrack{})
@@ -277,6 +293,57 @@ func (p *Pool[M]) AddMachine(m M) (int, error) {
 	p.mu.Unlock()
 	go p.run(w, m)
 	return w, nil
+}
+
+// RemoveMachine retires worker w: balanced submissions stop landing on
+// it immediately, it drains whatever its queue already holds (accepted
+// work is never dropped — conservation of requests is exact across a
+// scale-down), and once empty its goroutine exits. RemoveMachine
+// blocks until the drain completes, then returns the machine to the
+// caller, who now owns it exclusively (an ephemeral-clone tier must
+// release its frame references; see mem.Physical.Release). The
+// worker's statistics remain in every later Stats snapshot, flagged
+// Retired. The last live worker cannot be removed.
+func (p *Pool[M]) RemoveMachine(w int) (M, error) {
+	var zero M
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w < 0 || w >= len(p.machines) {
+		return zero, fmt.Errorf("fleet: no worker %d", w)
+	}
+	if p.closing {
+		return zero, ErrClosed
+	}
+	if p.retired[w] {
+		return zero, fmt.Errorf("fleet: worker %d already retired", w)
+	}
+	if p.live <= 1 {
+		return zero, fmt.Errorf("fleet: cannot retire the last live worker")
+	}
+	p.retired[w] = true
+	p.live--
+	p.stats[w].Retired = true
+	p.work.Broadcast() // wake w (and stealers of its queue)
+	for !p.exited[w] {
+		p.gone.Wait()
+	}
+	m := p.machines[w]
+	p.machines[w] = zero // the pool drops its reference; caller owns m
+	return m, nil
+}
+
+// LiveWorkers lists the indices of workers that have not been retired,
+// in ascending order.
+func (p *Pool[M]) LiveWorkers() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, p.live)
+	for w, r := range p.retired {
+		if !r {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // NewFromTemplate boots ONE template machine and derives the other
@@ -300,9 +367,17 @@ func NewFromTemplate[M Machine](cfg Config, bootTemplate func() (M, error), clon
 	})
 }
 
-// Workers returns the pool size. Under autoscaling the size can grow
-// between calls (never shrink).
+// Workers returns the number of live (non-retired) workers. Under
+// autoscaling it can change between calls in either direction.
 func (p *Pool[M]) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}
+
+// TotalWorkers returns how many workers the pool has ever had; worker
+// indices run [0, TotalWorkers) and retired ones keep theirs.
+func (p *Pool[M]) TotalWorkers() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.machines)
@@ -331,22 +406,14 @@ func (p *Pool[M]) Submit(req Request[M]) error {
 // closes first). An accepted request is never revoked by a later
 // cancellation of ctx.
 func (p *Pool[M]) SubmitCtx(ctx context.Context, req Request[M]) error {
-	p.mu.Lock()
-	w := p.next % len(p.queues)
-	p.next++
-	p.mu.Unlock()
-	return p.submit(ctx, w, item[M]{req: req})
+	return p.submit(ctx, balanced, item[M]{req: req})
 }
 
 // TrySubmit is the non-blocking Submit used for admission control: a
 // full queue refuses immediately with ErrBackpressure instead of
 // queueing the caller behind capacity the pool does not have.
 func (p *Pool[M]) TrySubmit(req Request[M]) error {
-	p.mu.Lock()
-	w := p.next % len(p.queues)
-	p.next++
-	p.mu.Unlock()
-	return p.trySubmit(w, item[M]{req: req})
+	return p.trySubmit(balanced, item[M]{req: req})
 }
 
 // SubmitTo places a request on worker w's queue pinned to its machine:
@@ -355,19 +422,38 @@ func (p *Pool[M]) TrySubmit(req Request[M]) error {
 // measurements use this; wall-clock workloads use Submit and let idle
 // workers steal.
 func (p *Pool[M]) SubmitTo(w int, req Request[M]) error {
-	if w < 0 || w >= p.Workers() {
-		return fmt.Errorf("fleet: no worker %d", w)
-	}
 	return p.submit(context.Background(), w, item[M]{req: req, pinned: true})
 }
 
 // TrySubmitTo is the non-blocking SubmitTo: pinned placement with
 // ErrBackpressure instead of blocking at the bound.
 func (p *Pool[M]) TrySubmitTo(w int, req Request[M]) error {
-	if w < 0 || w >= p.Workers() {
-		return fmt.Errorf("fleet: no worker %d", w)
-	}
 	return p.trySubmit(w, item[M]{req: req, pinned: true})
+}
+
+// balanced marks a submission with no pinned worker: the target is
+// picked round-robin over live workers at enqueue time, so a worker
+// retiring while a submitter waits for space never receives new work.
+const balanced = -1
+
+// targetLocked resolves a submission target. Caller holds p.mu.
+func (p *Pool[M]) targetLocked(w int) (int, error) {
+	if w == balanced {
+		for {
+			t := p.next % len(p.queues)
+			p.next++
+			if !p.retired[t] {
+				return t, nil
+			}
+		}
+	}
+	if w < 0 || w >= len(p.machines) {
+		return 0, fmt.Errorf("fleet: no worker %d", w)
+	}
+	if p.retired[w] {
+		return 0, fmt.Errorf("fleet: worker %d retired", w)
+	}
+	return w, nil
 }
 
 func (p *Pool[M]) submit(ctx context.Context, w int, it item[M]) error {
@@ -392,7 +478,11 @@ func (p *Pool[M]) submit(ctx context.Context, w int, it item[M]) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	p.enqueueLocked(w, it)
+	t, err := p.targetLocked(w)
+	if err != nil {
+		return err
+	}
+	p.enqueueLocked(t, it)
 	return nil
 }
 
@@ -405,7 +495,11 @@ func (p *Pool[M]) trySubmit(w int, it item[M]) error {
 	if p.inflight >= p.bound {
 		return ErrBackpressure
 	}
-	p.enqueueLocked(w, it)
+	t, err := p.targetLocked(w)
+	if err != nil {
+		return err
+	}
+	p.enqueueLocked(t, it)
 	return nil
 }
 
@@ -434,6 +528,11 @@ func (p *Pool[M]) take(w int) (Request[M], bool) {
 	for {
 		if p.queues[w].len() > 0 {
 			return p.queues[w].popFront().req, true
+		}
+		if p.retired[w] {
+			// Queue drained: the retiring worker leaves without
+			// stealing (its machine is about to be handed back).
+			return nil, false
 		}
 		victim, at, depth := -1, -1, 0
 		for v := range p.queues {
@@ -465,6 +564,12 @@ func (p *Pool[M]) take(w int) (Request[M], bool) {
 // loop never touches the slice header AddMachine may be growing.
 func (p *Pool[M]) run(w int, m M) {
 	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		p.exited[w] = true
+		p.gone.Broadcast()
+		p.mu.Unlock()
+	}()
 	for {
 		req, ok := p.take(w)
 		if !ok {

@@ -1,0 +1,312 @@
+// Snapshot-to-bytes serialization of the kernel. Like Clone and
+// Restore, the byte image carries the logical kernel state — process
+// table, allocator, cursors, cost sheet, console — plus the whole
+// machine (cpu + mmu + clock + physical frames). What a byte stream
+// cannot carry are the Go closures the kernel is made of: syscall
+// handlers, kernel services, per-process signal handlers, timer
+// subscribers. LoadFrom therefore restores INTO a deterministically
+// booted twin kernel: the twin's boot constructed all closures, and
+// the image's endpoint registries are validated against the twin's
+// (same syscall numbers, same service addresses) instead of being
+// replaced. Everything is decoded and validated before anything is
+// applied — a corrupt image never yields a half-restored kernel.
+package kernel
+
+import (
+	"maps"
+	"slices"
+
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// SaveTo appends the kernel image. The machine (which serializes the
+// MMU and clock, and whose load step is the first to mutate) comes
+// after the kernel's own fields; the physical frames come last so the
+// composed decoder can stage them with everything else.
+func (k *Kernel) SaveTo(e *mem.Enc) {
+	e.U32(k.kernelTemplate.CR3())
+	e.I32(int32(k.nextPID))
+	cur := int32(-1)
+	if k.cur != nil {
+		cur = int32(k.cur.PID)
+	}
+	e.I32(cur)
+
+	e.U32(uint32(len(k.procs)))
+	for _, pid := range slices.Sorted(maps.Keys(k.procs)) {
+		p := k.procs[pid]
+		e.I32(int32(p.PID))
+		e.I32(int32(p.Parent))
+		e.U8(uint8(p.TaskSPL))
+		e.U32(p.AS.CR3())
+		e.U32(p.Brk)
+		e.U32(p.mmapPtr)
+		e.U32(p.KStackTop)
+		e.U32(p.Ring2StackTop)
+		e.Bool(p.Exited)
+		e.I32(int32(p.ExitCode))
+		e.Bool(p.LastSignal != nil)
+		if p.LastSignal != nil {
+			// The *mmu.Fault detail is a host-side diagnostic and is
+			// not serialized; signal number and reason round-trip.
+			e.I32(int32(p.LastSignal.Sig))
+			e.String(p.LastSignal.Reason)
+		}
+		e.U32(uint32(len(p.Regions)))
+		for _, r := range p.Regions {
+			e.String(r.Name)
+			e.U32(r.Start)
+			e.U32(r.End)
+			e.Bool(r.Writable)
+			e.Bool(r.ForcePPL1)
+		}
+	}
+
+	e.U32(k.nextKStack)
+	e.U32(k.nextKHeap)
+	e.U32(k.nextSvcAddr)
+	e.I32(int32(k.nextGate))
+	e.U32(k.svcSyscallAddr)
+	e.U32(k.svcKSvcAddr)
+
+	saveKeySet(e, k.syscalls)
+	saveKeySet(e, k.kernelServices)
+
+	for _, v := range costsFields(k.Costs) {
+		e.F64(*v)
+	}
+	e.F64(k.ExtTimeLimit)
+	e.F64(k.extDeadline)
+	e.U32(uint32(len(k.tickFns)))
+	e.Bytes(k.ConsoleOut)
+
+	k.Machine.SaveTo(e)
+	k.Alloc.SaveTo(e)
+	k.Phys.SaveTo(e)
+}
+
+func saveKeySet(e *mem.Enc, m map[uint32]SyscallFn) {
+	e.U32(uint32(len(m)))
+	for _, nr := range slices.Sorted(maps.Keys(m)) {
+		e.U32(nr)
+	}
+}
+
+// costsFields enumerates every CostSheet field in wire order. A new
+// cost must be added here to round-trip (TestCostSheetWireCoverage
+// pins the count against the struct).
+func costsFields(c *CostSheet) []*float64 {
+	return []*float64{
+		&c.SyscallEntry, &c.SyscallExit, &c.ContextSwitch,
+		&c.Fork, &c.Exec,
+		&c.PFHandler, &c.GPHandler, &c.SignalDeliver,
+		&c.PPLMarkStart, &c.PPLMarkPerPage,
+		&c.CopyPerByte, &c.MapPage,
+		&c.DlopenBase, &c.DlopenPerSymbol, &c.DlopenPerPage,
+		&c.TimerTick,
+	}
+}
+
+// procImage is one decoded process, staged before application.
+type procImage struct {
+	val     Process // AS filled in during staging, Regions during apply
+	regions []VMRegion
+}
+
+// LoadFrom decodes a SaveTo image into this kernel, which must be a
+// deterministically booted twin. Process structs that exist in the
+// twin under the same PID are restored in place, so every reference
+// held elsewhere (a core.App's process, a web server's CGI helper)
+// stays valid — exactly the discipline Snapshot/Restore follows.
+// Signal handlers are kept from the twin when the process survives
+// (the kernel cannot reconstruct user closures) and are nil on
+// processes the twin did not have.
+func (k *Kernel) LoadFrom(d *mem.Dec) error {
+	ktCR3 := d.U32()
+	if d.Err() == nil && ktCR3 != k.kernelTemplate.CR3() {
+		d.Failf("kernel template CR3 %#x does not match booted twin's %#x", ktCR3, k.kernelTemplate.CR3())
+	}
+	nextPID := int(d.I32())
+	curPID := int(d.I32())
+
+	nProcs := d.Len("process", 1<<20)
+	procs := make([]procImage, 0, nProcs)
+	lastPID := -1 << 30
+	for i := 0; i < nProcs; i++ {
+		var pi procImage
+		p := &pi.val
+		p.PID = int(d.I32())
+		if d.Err() == nil && p.PID <= lastPID {
+			d.Failf("process %d out of order", p.PID)
+		}
+		lastPID = p.PID
+		p.Parent = int(d.I32())
+		spl := d.U8()
+		if d.Err() == nil && (spl < 2 || spl > 3) {
+			d.Failf("process %d has SPL %d", p.PID, spl)
+		}
+		p.TaskSPL = int(spl)
+		cr3 := d.U32()
+		p.Brk = d.U32()
+		p.mmapPtr = d.U32()
+		p.KStackTop = d.U32()
+		p.Ring2StackTop = d.U32()
+		p.Exited = d.Bool()
+		p.ExitCode = int(d.I32())
+		if d.Bool() {
+			p.LastSignal = &SignalInfo{Sig: int(d.I32()), Reason: d.String()}
+		}
+		nRegions := d.Len("vm region", 1<<16)
+		for j := 0; j < nRegions; j++ {
+			r := VMRegion{
+				Name: d.String(), Start: d.U32(), End: d.U32(),
+				Writable: d.Bool(), ForcePPL1: d.Bool(),
+			}
+			if d.Err() == nil && (r.Start&uint32(mem.PageMask) != 0 || r.End&uint32(mem.PageMask) != 0 || r.End <= r.Start) {
+				d.Failf("process %d region %q [%#x,%#x) malformed", p.PID, r.Name, r.Start, r.End)
+			}
+			pi.regions = append(pi.regions, r)
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if cr3&uint32(mem.PageMask) != 0 {
+			d.Failf("process %d CR3 %#x not page aligned", p.PID, cr3)
+			return d.Err()
+		}
+		// Wrapper objects only: contents live in the frame image.
+		p.AS = mmu.AdoptAddressSpace(k.Phys, k.Alloc, cr3)
+		procs = append(procs, pi)
+	}
+
+	nextKStack := d.U32()
+	nextKHeap := d.U32()
+	nextSvcAddr := d.U32()
+	nextGate := int(d.I32())
+	svcSyscallAddr := d.U32()
+	svcKSvcAddr := d.U32()
+	if d.Err() == nil && (svcSyscallAddr != k.svcSyscallAddr || svcKSvcAddr != k.svcKSvcAddr) {
+		d.Failf("trusted endpoint addresses %#x/%#x do not match booted twin's %#x/%#x",
+			svcSyscallAddr, svcKSvcAddr, k.svcSyscallAddr, k.svcKSvcAddr)
+	}
+
+	if err := checkKeySet(d, "syscall", k.syscalls); err != nil {
+		return err
+	}
+	if err := checkKeySet(d, "kernel service", k.kernelServices); err != nil {
+		return err
+	}
+
+	var costs CostSheet
+	for _, v := range costsFields(&costs) {
+		*v = d.F64()
+	}
+	extTimeLimit := d.F64()
+	extDeadline := d.F64()
+	tickLen := d.Len("tick subscriber", 1<<16)
+	if d.Err() == nil && tickLen != len(k.tickFns) {
+		d.Failf("image has %d timer subscribers, booted twin has %d", tickLen, len(k.tickFns))
+	}
+	console := slices.Clone(d.Bytes())
+	if err := d.Err(); err != nil {
+		return err
+	}
+
+	// cur must name a serialized process (or be absent).
+	var curImage *procImage
+	if curPID >= 0 {
+		for i := range procs {
+			if procs[i].val.PID == curPID {
+				curImage = &procs[i]
+			}
+		}
+		if curImage == nil {
+			d.Failf("current process %d not in image", curPID)
+			return d.Err()
+		}
+	}
+
+	// The machine decodes next. Its CR3-adoption callback hands back
+	// the staged processes' address-space objects so the MMU's current
+	// space has pointer identity with the process that owns it.
+	adopt := func(cr3 uint32) *mmu.AddressSpace {
+		for i := range procs {
+			if procs[i].val.AS.CR3() == cr3 {
+				return procs[i].val.AS
+			}
+		}
+		if cr3 == k.kernelTemplate.CR3() {
+			return k.kernelTemplate
+		}
+		return mmu.AdoptAddressSpace(k.Phys, k.Alloc, cr3)
+	}
+	if err := k.Machine.LoadFrom(d, adopt); err != nil {
+		return err
+	}
+
+	// Allocator and frames: stage, then adopt. From here on nothing
+	// fails; the machine application above was the first mutation.
+	stagedAlloc := k.Alloc.Clone()
+	if err := stagedAlloc.LoadFrom(d); err != nil {
+		return err
+	}
+	physImg, err := mem.DecodePhysImage(d)
+	if err != nil {
+		return err
+	}
+	k.Phys.AdoptImage(physImg)
+	*k.Alloc = *stagedAlloc
+
+	old := k.procs
+	k.procs = make(map[int]*Process, len(procs))
+	for i := range procs {
+		pi := &procs[i]
+		p := old[pi.val.PID]
+		if p == nil {
+			p = &Process{}
+		} else {
+			// The twin's handler closure survives an in-place restore,
+			// like Snapshot/Restore keeps it.
+			pi.val.SignalHandler = p.SignalHandler
+		}
+		*p = pi.val
+		p.Regions = regionPtrs(pi.regions)
+		k.procs[p.PID] = p
+		if curImage == pi {
+			k.cur = p
+		}
+	}
+	if curPID < 0 {
+		k.cur = nil
+	}
+	k.nextPID = nextPID
+
+	k.nextKStack = nextKStack
+	k.nextKHeap = nextKHeap
+	k.nextSvcAddr = nextSvcAddr
+	k.nextGate = nextGate
+	*k.Costs = costs
+	k.ExtTimeLimit = extTimeLimit
+	k.extDeadline = extDeadline
+	k.ConsoleOut = append(k.ConsoleOut[:0], console...)
+	return nil
+}
+
+func checkKeySet(d *mem.Dec, what string, m map[uint32]SyscallFn) error {
+	n := d.Len(what, 1<<20)
+	if d.Err() == nil && n != len(m) {
+		d.Failf("image has %d %s entries, booted twin has %d", n, what, len(m))
+	}
+	for i := 0; i < n; i++ {
+		nr := d.U32()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, ok := m[nr]; !ok {
+			d.Failf("%s %#x in image not registered in booted twin", what, nr)
+			return d.Err()
+		}
+	}
+	return d.Err()
+}

@@ -89,12 +89,12 @@ func TestReadsNeverCopyFrames(t *testing.T) {
 	for i := uint32(0); i < 4*PageSize; i += 4 {
 		q.Read32(i)
 	}
-	if _, copies := q.COWStats(); copies != 0 {
+	if _, copies, _ := q.COWStats(); copies != 0 {
 		t.Errorf("reads caused %d COW frame copies", copies)
 	}
 	// One write copies exactly one frame.
 	q.Write8(0, 1)
-	if _, copies := q.COWStats(); copies != 1 {
+	if _, copies, _ := q.COWStats(); copies != 1 {
 		t.Errorf("one write caused %d COW frame copies, want 1", copies)
 	}
 }
@@ -105,7 +105,7 @@ func TestReleaseRestoresInPlaceWrites(t *testing.T) {
 	s := p.Snapshot()
 	s.Release()
 	p.Write8(0, 2) // sole owner again: no copy
-	if _, copies := p.COWStats(); copies != 0 {
+	if _, copies, _ := p.COWStats(); copies != 0 {
 		t.Errorf("write after release copied %d frames", copies)
 	}
 }

@@ -111,10 +111,13 @@ type Physical struct {
 	touched int
 
 	// cowCopies counts frames cloned by write faults; snapshots counts
-	// Snapshot calls (diagnostics only — COW charges no simulated
-	// cycles, so the non-snapshot paths stay bit-identical).
+	// Snapshot calls; deduped counts frames folded onto a canonical
+	// FrameStore frame by Intern (diagnostics only — COW and interning
+	// charge no simulated cycles, so the non-snapshot paths stay
+	// bit-identical).
 	cowCopies uint64
 	snapshots uint64
+	deduped   uint64
 
 	// onRestore, when set (by the MMU observing this memory), runs
 	// after every Restore so translation-keyed decode state (the CPU's
@@ -453,9 +456,12 @@ func (p *Physical) Zero(pa uint32, n int) {
 func (p *Physical) FrameCount() int { return p.touched }
 
 // COWStats reports copy-on-write diagnostics: snapshots taken on this
-// Physical and frames cloned by write faults.
-func (p *Physical) COWStats() (snapshots, frameCopies uint64) {
-	return p.snapshots, p.cowCopies
+// Physical, frames cloned by write faults, and resident frames
+// replaced by content-addressed interning (Intern) — dedupedFrames is
+// how many private frames this Physical gave up in favor of canonical
+// FrameStore frames.
+func (p *Physical) COWStats() (snapshots, frameCopies, dedupedFrames uint64) {
+	return p.snapshots, p.cowCopies, p.deduped
 }
 
 // fingerprintSeed is fixed so fingerprints are comparable across

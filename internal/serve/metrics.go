@@ -23,10 +23,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "palladium_serve_completed_total %d\n", c.Completed)
 	fmt.Fprintf(&b, "palladium_serve_failed_total %d\n", c.Failed)
 	fmt.Fprintf(&b, "palladium_serve_scaleups_total %d\n", c.ScaleUps)
+	fmt.Fprintf(&b, "palladium_serve_scaledowns_total %d\n", c.ScaleDowns)
 	fmt.Fprintf(&b, "palladium_serve_inflight %d\n", s.pool.Inflight())
 	fmt.Fprintf(&b, "palladium_serve_queue_bound %d\n", s.pool.Bound())
 	fmt.Fprintf(&b, "palladium_serve_workers %d\n", s.pool.Workers())
+	fmt.Fprintf(&b, "palladium_serve_workers_retired %d\n", s.pool.TotalWorkers()-s.pool.Workers())
 	fmt.Fprintf(&b, "palladium_serve_max_workers %d\n", s.maxWorkers)
+
+	if cs, ok := s.CloneStats(); ok {
+		fmt.Fprintf(&b, "# ephemeral clone pool (clone-per-request mode)\n")
+		fmt.Fprintf(&b, "palladium_clone_warm_depth %d\n", cs.WarmDepth)
+		fmt.Fprintf(&b, "palladium_clone_target_depth %d\n", cs.TargetDepth)
+		fmt.Fprintf(&b, "palladium_clone_forks_total %d\n", cs.Forks)
+		fmt.Fprintf(&b, "palladium_clone_cold_steals_total %d\n", cs.ColdSteals)
+		fmt.Fprintf(&b, "palladium_clone_discards_total %d\n", cs.Discards)
+	}
 
 	st := s.pool.Stats()
 	fmt.Fprintf(&b, "# fleet dispatcher (totals since boot)\n")
@@ -45,8 +56,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// owning workers publish after each request.
 	var blockHits, blockBuilds, blockInvalids, chainHits, fastFetches, tlbHits, tlbMisses, tlbFlushes uint64
 	var traceBuilds, traceDispatches, traceInvalids, traceDeopts uint64
-	for w := 0; w < s.pool.Workers() && w < len(s.wstats); w++ {
-		wc := s.wstats[w]
+	s.wmu.RLock()
+	wstats := append([]*workerCounters(nil), s.wstats...)
+	s.wmu.RUnlock()
+	for _, wc := range wstats {
 		blockHits += wc.blockHits.Load()
 		blockBuilds += wc.blockBuilds.Load()
 		blockInvalids += wc.blockInvalids.Load()

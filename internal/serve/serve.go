@@ -59,6 +59,22 @@ type Config struct {
 	// ScaleUpDepth scales up while inflight > ScaleUpDepth*workers
 	// (default 2).
 	ScaleUpDepth float64
+	// ScaleDownDepth enables scale-down: while the fleet is above its
+	// boot size and inflight < ScaleDownDepth*(workers-1), the newest
+	// live worker drains and retires. 0 disables scale-down.
+	ScaleDownDepth float64
+	// ClonePerRequest switches the tier to ephemeral-clone serving:
+	// every admitted request runs on a fresh clone forked from the
+	// pristine template (pre-forked into a warm pool off the hot path)
+	// and discarded — never reused — on completion.
+	ClonePerRequest bool
+	// WarmClones bounds the pre-forked warm clone pool (default 2;
+	// only meaningful with ClonePerRequest).
+	WarmClones int
+	// RestoreImage, when non-nil, is a webserver.SaveBytes image the
+	// template machine is restored from instead of booting fresh — the
+	// -restore cold-start path. FileSize is taken from the image.
+	RestoreImage []byte
 	// DefaultModel names the model serving requests that pass no
 	// ?model= (default "libcgi-prot" — the paper's protected serving
 	// path).
@@ -108,6 +124,8 @@ type Server struct {
 	// tmpl is the pristine clone source: it never serves, so every
 	// scale-up clone is bit-identical to a boot-time worker.
 	tmpl *webserver.Server
+	// clones is the warm ephemeral-clone pool (ClonePerRequest mode).
+	clones *fleet.ClonePool[*webserver.Server]
 
 	ln net.Listener
 	hs *http.Server
@@ -115,16 +133,18 @@ type Server struct {
 	// Request accounting. admitted counts requests accepted into the
 	// fleet queue; completed+failed must equal it after a drain —
 	// the "no accepted request is ever dropped" invariant.
-	admitted  atomic.Uint64
-	rejected  atomic.Uint64 // 503s (admission refusals)
-	completed atomic.Uint64
-	failed    atomic.Uint64 // admitted but handler returned an error
-	scaleUps  atomic.Uint64
+	admitted   atomic.Uint64
+	rejected   atomic.Uint64 // 503s (admission refusals)
+	completed  atomic.Uint64
+	failed     atomic.Uint64 // admitted but handler returned an error
+	scaleUps   atomic.Uint64
+	scaleDowns atomic.Uint64
 
 	simHist  *Hist // simulated service latency, microseconds
 	wallHist *Hist // wall-clock admission-to-completion latency, microseconds
 
-	wstats []*workerCounters // indexed by worker; sized maxWorkers up front
+	wmu    sync.RWMutex
+	wstats []*workerCounters // indexed by worker; grows with scale-up
 
 	maxWorkers int
 	stop       chan struct{}
@@ -175,9 +195,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 
-	tmpl, err := webserver.BootServer(cfg.FileSize)
-	if err != nil {
-		return nil, fmt.Errorf("serve: booting template: %w", err)
+	var tmpl *webserver.Server
+	if cfg.RestoreImage != nil {
+		tmpl, err = webserver.LoadServerBytes(cfg.RestoreImage)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restoring template: %w", err)
+		}
+		cfg.FileSize = tmpl.FileSize
+	} else {
+		tmpl, err = webserver.BootServer(cfg.FileSize)
+		if err != nil {
+			return nil, fmt.Errorf("serve: booting template: %w", err)
+		}
 	}
 	// Every worker — boot-time and scaled-up alike — is a clone of the
 	// never-serving template, so all workers are bit-identical at
@@ -202,6 +231,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	for i := range s.wstats {
 		s.wstats[i] = &workerCounters{}
+	}
+	if cfg.ClonePerRequest {
+		if cfg.WarmClones <= 0 {
+			cfg.WarmClones = 2
+		}
+		s.cfg.WarmClones = cfg.WarmClones
+		// Discarded clones release their frame references so the
+		// template's frames never stay falsely shared and the spent
+		// clone's private frames are reclaimed.
+		s.clones = fleet.NewClonePool(cfg.WarmClones,
+			tmpl.Clone,
+			func(c *webserver.Server) { c.S.K.Phys.Release() })
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleServe)
@@ -254,7 +295,7 @@ func (s *Server) Pool() *fleet.Pool[*webserver.Server] { return s.pool }
 
 // Counters is the serving tier's request accounting snapshot.
 type Counters struct {
-	Admitted, Rejected, Completed, Failed, ScaleUps uint64
+	Admitted, Rejected, Completed, Failed, ScaleUps, ScaleDowns uint64
 }
 
 // CountersSnapshot returns the request accounting. After a drain,
@@ -262,12 +303,25 @@ type Counters struct {
 // dropped.
 func (s *Server) CountersSnapshot() Counters {
 	return Counters{
-		Admitted:  s.admitted.Load(),
-		Rejected:  s.rejected.Load(),
-		Completed: s.completed.Load(),
-		Failed:    s.failed.Load(),
-		ScaleUps:  s.scaleUps.Load(),
+		Admitted:   s.admitted.Load(),
+		Rejected:   s.rejected.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		ScaleUps:   s.scaleUps.Load(),
+		ScaleDowns: s.scaleDowns.Load(),
 	}
+}
+
+// ScaleDowns reports how many workers the autoscaler retired.
+func (s *Server) ScaleDowns() uint64 { return s.scaleDowns.Load() }
+
+// CloneStats snapshots the ephemeral-clone pool gauges; ok is false
+// when the tier is not in ClonePerRequest mode.
+func (s *Server) CloneStats() (st fleet.CloneStats, ok bool) {
+	if s.clones == nil {
+		return fleet.CloneStats{}, false
+	}
+	return s.clones.Stats(), true
 }
 
 // SimHist and WallHist expose the latency histograms (µs).
@@ -292,14 +346,38 @@ func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
 
 	t0 := time.Now()
 	done := make(chan result, 1)
-	err := s.pool.TrySubmit(func(wk int, srv *webserver.Server) error {
+	handler := func(wk int, srv *webserver.Server) error {
 		before := srv.SimCycles()
 		status, err := srv.ServeRequest(model)
 		cyc := srv.SimCycles() - before
 		s.refreshWorkerCounters(wk, srv)
 		done <- result{status: status, simMicros: srv.S.Clock().Micros(cyc), err: err}
 		return err
-	})
+	}
+	if s.clones != nil {
+		// Ephemeral-clone mode: the fleet still provides admission
+		// control and worker concurrency, but the request executes on a
+		// fresh clone popped from the warm pool, not on the worker's
+		// long-lived machine, and the clone is discarded afterwards.
+		handler = func(wk int, _ *webserver.Server) error {
+			c, err := s.clones.Take()
+			if err != nil {
+				done <- result{err: err}
+				return err
+			}
+			before := c.SimCycles()
+			status, serr := c.ServeRequest(model)
+			cyc := c.SimCycles() - before
+			s.refreshWorkerCounters(wk, c)
+			res := result{status: status, simMicros: c.S.Clock().Micros(cyc), err: serr}
+			// Discard before completing the request, so the pool gauges
+			// are settled by the time the response is observable.
+			s.clones.Discard(c)
+			done <- res
+			return serr
+		}
+	}
+	err := s.pool.TrySubmit(handler)
 	if err != nil {
 		// Queue full (or shutting down): typed backpressure, HTTP 503.
 		fault := sandbox.NewFault(sandbox.Backpressure, "serve", "admit", err)
@@ -342,10 +420,15 @@ func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
 // refreshWorkerCounters publishes worker wk's simulator counters; it
 // runs on the worker goroutine that owns srv, so the reads are safe.
 func (s *Server) refreshWorkerCounters(wk int, srv *webserver.Server) {
-	if wk >= len(s.wstats) {
+	s.wmu.RLock()
+	var c *workerCounters
+	if wk < len(s.wstats) {
+		c = s.wstats[wk]
+	}
+	s.wmu.RUnlock()
+	if c == nil {
 		return
 	}
-	c := s.wstats[wk]
 	hits, builds, invalids := srv.S.K.Machine.BlockCacheStats()
 	chains, fast := srv.S.K.Machine.ChainStats()
 	ts := srv.S.K.Machine.TraceStats()
@@ -379,17 +462,20 @@ func (s *Server) autoscale() {
 		case <-t.C:
 		}
 		workers := s.pool.Workers()
-		if workers >= s.maxWorkers {
-			continue
-		}
-		if float64(s.pool.Inflight()) <= s.cfg.ScaleUpDepth*float64(workers) {
-			continue
-		}
-		if err := s.ScaleUp(); err != nil {
-			if !errors.Is(err, fleet.ErrClosed) {
-				fmt.Printf("serve: scale-up: %v\n", err)
+		if workers < s.maxWorkers && float64(s.pool.Inflight()) > s.cfg.ScaleUpDepth*float64(workers) {
+			if err := s.ScaleUp(); err != nil {
+				if !errors.Is(err, fleet.ErrClosed) {
+					fmt.Printf("serve: scale-up: %v\n", err)
+				}
+				return
 			}
-			return
+			continue
+		}
+		if s.cfg.ScaleDownDepth > 0 && workers > s.cfg.Workers &&
+			float64(s.pool.Inflight()) < s.cfg.ScaleDownDepth*float64(workers-1) {
+			if err := s.ScaleDown(); err != nil && !errors.Is(err, fleet.ErrClosed) {
+				fmt.Printf("serve: scale-down: %v\n", err)
+			}
 		}
 	}
 }
@@ -401,10 +487,38 @@ func (s *Server) ScaleUp() error {
 	if err != nil {
 		return err
 	}
-	if _, err := s.pool.AddMachine(clone); err != nil {
+	w, err := s.pool.AddMachine(clone)
+	if err != nil {
 		return err
 	}
+	// Worker indices keep growing across retire/add cycles, so the
+	// counter table grows with them rather than being capped at
+	// MaxWorkers.
+	s.wmu.Lock()
+	for len(s.wstats) <= w {
+		s.wstats = append(s.wstats, &workerCounters{})
+	}
+	s.wmu.Unlock()
 	s.scaleUps.Add(1)
+	return nil
+}
+
+// ScaleDown retires the newest live worker: it stops receiving new
+// submissions, drains its queue (conservation-exact — nothing it
+// accepted is dropped), exits, and its machine's frames are released.
+// The fleet never shrinks below its boot size.
+func (s *Server) ScaleDown() error {
+	live := s.pool.LiveWorkers()
+	if len(live) <= s.cfg.Workers {
+		return nil
+	}
+	w := live[len(live)-1]
+	m, err := s.pool.RemoveMachine(w)
+	if err != nil {
+		return err
+	}
+	m.S.K.Phys.Release()
+	s.scaleDowns.Add(1)
 	return nil
 }
 
@@ -430,6 +544,11 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 	if _, cerr := s.pool.Close(); err == nil {
 		err = cerr
+	}
+	// Workers are gone; no handler can Take any more. Drain the warm
+	// clones so their frame references are released.
+	if s.clones != nil {
+		s.clones.Close()
 	}
 	return err
 }
